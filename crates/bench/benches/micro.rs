@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the performance-critical primitives the
+//! paper's design revolves around: multi-strategy decoding (Table 2's time
+//! column as statistically rigorous measurements), raw-bit vs template
+//! encoding, basic-block construction, and whole-program engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rio_core::{NullClient, Options, Rio};
+use rio_ia32::encode::encode_list;
+use rio_ia32::{decode_instr, decode_opcode, decode_sizeof, InstrList, Level};
+use rio_sim::CpuKind;
+use rio_workloads::compile;
+
+/// The Figure 2 block: seven instructions of mixed complexity.
+const FIG2: &[u8] = &[
+    0x8d, 0x34, 0x01, 0x8b, 0x46, 0x0c, 0x2b, 0x46, 0x1c, 0x0f, 0xb7, 0x4e, 0x08, 0xc1, 0xe1,
+    0x07, 0x3b, 0xc1, 0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00,
+];
+
+fn bench_decode_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    g.bench_function("sizeof (L0/L1 boundary scan)", |b| {
+        b.iter(|| {
+            let mut off = 0usize;
+            while off < FIG2.len() {
+                off += decode_sizeof(std::hint::black_box(&FIG2[off..])).unwrap() as usize;
+            }
+            off
+        })
+    });
+    g.bench_function("opcode (L2)", |b| {
+        b.iter(|| {
+            let mut off = 0usize;
+            while off < FIG2.len() {
+                let (op, len) = decode_opcode(std::hint::black_box(&FIG2[off..])).unwrap();
+                std::hint::black_box(op);
+                off += len as usize;
+            }
+            off
+        })
+    });
+    g.bench_function("full (L3)", |b| {
+        b.iter(|| {
+            let mut off = 0usize;
+            while off < FIG2.len() {
+                let (i, len) = decode_instr(std::hint::black_box(&FIG2[off..]), 0x1000).unwrap();
+                std::hint::black_box(i.srcs().len());
+                off += len as usize;
+            }
+            off
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode_encode_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_encode_block");
+    for level in [Level::L0, Level::L1, Level::L2, Level::L3] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &level,
+            |b, level| {
+                b.iter(|| {
+                    let il = InstrList::decode_block(FIG2, 0x1000, *level).unwrap();
+                    encode_list(&il, 0x1000).unwrap().bytes.len()
+                })
+            },
+        );
+    }
+    // Level 4: full decode + invalidation -> full re-encode.
+    g.bench_function("L4", |b| {
+        b.iter(|| {
+            let mut il = InstrList::decode_block(FIG2, 0x1000, Level::L3).unwrap();
+            let ids: Vec<_> = il.ids().collect();
+            for id in ids {
+                il.get_mut(id).invalidate_raw();
+            }
+            encode_list(&il, 0x1000).unwrap().bytes.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    // A small hot program: host-side cost of the whole engine pipeline
+    // (build, link, trace, execute).
+    let image = compile(
+        "fn main() {
+             var s = 0; var i = 0;
+             while (i < 3000) { s = s + i * 3 % 7; i++; }
+             return s % 251;
+         }",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("hot_loop_full_system", |b| {
+        b.iter(|| {
+            let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+            rio.run().exit_code
+        })
+    });
+    g.bench_function("hot_loop_native_sim", |b| {
+        b.iter(|| rio_sim::run_native(&image, CpuKind::Pentium4).exit_code)
+    });
+    g.finish();
+}
+
+fn bench_fragment_build(c: &mut Criterion) {
+    // Cost of building one basic block end-to-end through the engine by
+    // running a straight-line program (every block executes once).
+    let mut src = String::from("fn main() { var a = 1;\n");
+    for i in 0..200 {
+        src.push_str(&format!("a = a * {} % 10007;\n", i % 13 + 2));
+    }
+    src.push_str("return a; }");
+    let image = compile(&src).unwrap();
+    let mut g = c.benchmark_group("build");
+    g.sample_size(30);
+    g.bench_function("cold_code_translation", |b| {
+        b.iter(|| {
+            let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+            rio.run().exit_code
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_strategies,
+    bench_decode_encode_levels,
+    bench_engine_end_to_end,
+    bench_fragment_build
+);
+criterion_main!(benches);

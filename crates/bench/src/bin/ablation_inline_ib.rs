@@ -1,0 +1,32 @@
+//! Ablation: inlined indirect-branch target check on/off (DESIGN.md design
+//! choice 4) — the §3 claim that "this check is much faster than the
+//! hashtable lookup".
+
+use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::CpuKind;
+use rio_workloads::{compile, suite_scaled, Category};
+
+fn main() {
+    let kind = CpuKind::Pentium4;
+    println!("Inline IB target check: normalized execution time (geomean, full system)");
+    println!("{:<10} {:>8} {:>8}", "inline", "int", "all");
+    for inline in [false, true] {
+        let mut int = Vec::new();
+        let mut all = Vec::new();
+        for b in suite_scaled(3) {
+            let image = compile(&b.source).expect("compiles");
+            let (native, _, _) = native_cycles(&image, kind);
+            let mut opts = Options::full();
+            opts.inline_ib_target = inline;
+            let r = run_config(&image, opts, kind, ClientKind::Null);
+            let norm = r.cycles as f64 / native as f64;
+            if b.category == Category::Int {
+                int.push(norm);
+            }
+            all.push(norm);
+        }
+        let g = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+        println!("{:<10} {:>8.3} {:>8.3}", inline, g(&int), g(&all));
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: trace-head threshold sweep (DESIGN.md design choice 2).
+//!
+//! Dynamo's default threshold is 50. Too low wastes build time on lukewarm
+//! code; too high delays the benefit of traces.
+
+use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::CpuKind;
+use rio_workloads::{compile, suite_scaled, Category};
+
+fn main() {
+    let kind = CpuKind::Pentium4;
+    let thresholds = [5u32, 15, 50, 150, 500, 5000];
+    println!("Trace-threshold sweep: normalized execution time (geomean, full system)");
+    println!("{:<10} {:>8} {:>8} {:>8}", "threshold", "int", "fp", "all");
+    for t in thresholds {
+        let mut int = Vec::new();
+        let mut fp = Vec::new();
+        for b in suite_scaled(3) {
+            let image = compile(&b.source).expect("compiles");
+            let (native, _, _) = native_cycles(&image, kind);
+            let mut opts = Options::full();
+            opts.trace_threshold = t;
+            let r = run_config(&image, opts, kind, ClientKind::Null);
+            let norm = r.cycles as f64 / native as f64;
+            match b.category {
+                Category::Int => int.push(norm),
+                Category::Fp => fp.push(norm),
+            }
+        }
+        let g = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+        let all: Vec<f64> = int.iter().chain(fp.iter()).copied().collect();
+        println!("{:<10} {:>8.3} {:>8.3} {:>8.3}", t, g(&int), g(&fp), g(&all));
+    }
+}

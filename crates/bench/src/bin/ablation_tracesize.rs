@@ -1,0 +1,35 @@
+//! Ablation: custom-trace maximum size sweep (DESIGN.md design choice 5).
+//!
+//! §4.4: "A trace will be terminated if a maximum size is reached, to
+//! prevent too much unrolling of loops inside calls."
+
+use rio_bench::native_cycles;
+use rio_clients::CTrace;
+use rio_core::{Options, Rio};
+use rio_sim::CpuKind;
+use rio_workloads::{compile, suite_scaled, Category};
+
+fn main() {
+    let kind = CpuKind::Pentium4;
+    println!("Custom-trace max-size sweep: normalized execution time (geomean)");
+    println!("{:<8} {:>8} {:>8}", "max_bbs", "int", "all");
+    for max_bbs in [2usize, 4, 8, 12, 24, 48] {
+        let mut int = Vec::new();
+        let mut all = Vec::new();
+        for b in suite_scaled(3) {
+            let image = compile(&b.source).expect("compiles");
+            let (native, _, _) = native_cycles(&image, kind);
+            let mut opts = Options::full();
+            opts.max_trace_bbs = max_bbs.max(2);
+            let mut rio = Rio::new(&image, opts, kind, CTrace::with_max_bbs(max_bbs));
+            let r = rio.run();
+            let norm = r.counters.cycles as f64 / native as f64;
+            if b.category == Category::Int {
+                int.push(norm);
+            }
+            all.push(norm);
+        }
+        let g = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+        println!("{:<8} {:>8.3} {:>8.3}", max_bbs, g(&int), g(&all));
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 5 reproduction: normalized program execution time (RIO time /
+//! native time) across the SPEC2000-like suite, six bars per benchmark —
+//! base RIO, each of the four sample optimizations independently, and all
+//! in combination.
+//!
+//! Shape targets from the paper: RLR ≈ 40% win on mgrid-like FP kernels;
+//! IB dispatch and custom traces win on indirect/call-heavy integer codes;
+//! slowdowns on the low-reuse gcc/perlbmk-like runs; combined mean ≈
+//! native (≈12% better than base RIO).
+
+use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::CpuKind;
+use rio_workloads::{compile, suite, Category};
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let kind = CpuKind::Pentium4;
+    println!("Figure 5: normalized execution time (RIO / native; smaller is better)");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10} {:>8} {:>9}",
+        "benchmark", "base", "rlr", "inc2add", "ibdispatch", "ctraces", "combined"
+    );
+
+    let mut by_client: Vec<Vec<f64>> = vec![Vec::new(); ClientKind::FIGURE5.len()];
+    let mut int_combined = Vec::new();
+    let mut fp_combined = Vec::new();
+
+    for b in suite() {
+        let image = compile(&b.source).expect("benchmark compiles");
+        let (native, exit, out) = native_cycles(&image, kind);
+        let mut row = format!("{:<10}", b.name);
+        for (i, client) in ClientKind::FIGURE5.iter().enumerate() {
+            let r = run_config(&image, Options::full(), kind, *client);
+            assert_eq!(
+                (r.exit_code, r.output.as_str()),
+                (exit, out.as_str()),
+                "{} under {:?} diverged from native execution",
+                b.name,
+                client
+            );
+            let norm = r.cycles as f64 / native as f64;
+            by_client[i].push(norm);
+            let width = [8, 8, 8, 10, 8, 9][i];
+            row.push_str(&format!(" {:>width$.3}", norm, width = width));
+            if *client == ClientKind::Combined {
+                match b.category {
+                    Category::Int => int_combined.push(norm),
+                    Category::Fp => fp_combined.push(norm),
+                }
+            }
+        }
+        println!("{row}");
+    }
+
+    println!();
+    let mut mean_row = format!("{:<10}", "geomean");
+    for (i, xs) in by_client.iter().enumerate() {
+        let width = [8, 8, 8, 10, 8, 9][i];
+        mean_row.push_str(&format!(" {:>width$.3}", geomean(xs), width = width));
+    }
+    println!("{mean_row}");
+    println!(
+        "combined geomean: int {:.3}, fp {:.3}, overall {:.3} (base {:.3})",
+        geomean(&int_combined),
+        geomean(&fp_combined),
+        geomean(&by_client[5]),
+        geomean(&by_client[0]),
+    );
+}

@@ -1,0 +1,31 @@
+//! Per-benchmark characteristics report: instruction counts, branch mix,
+//! engine statistics under the full system. Useful for sanity-checking that
+//! each benchmark has the character its SPEC analog calls for.
+
+use rio_bench::{run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::{run_native, CpuKind};
+use rio_workloads::{compile, suite};
+
+fn main() {
+    println!(
+        "{:<10} {:>10} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8}",
+        "benchmark", "instrs", "cpi", "blocks", "traces", "links", "iblkup", "norm"
+    );
+    for b in suite() {
+        let image = compile(&b.source).expect("compiles");
+        let native = run_native(&image, CpuKind::Pentium4);
+        let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Null);
+        println!(
+            "{:<10} {:>10} {:>7.2} {:>8} {:>8} {:>7} {:>7} {:>8.3}",
+            b.name,
+            native.counters.instructions,
+            native.counters.cycles as f64 / native.counters.instructions as f64,
+            r.stats.bbs_built,
+            r.stats.traces_built,
+            r.stats.links,
+            r.stats.ib_lookups,
+            r.cycles as f64 / native.counters.cycles as f64,
+        );
+    }
+}

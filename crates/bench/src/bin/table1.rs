@@ -1,0 +1,47 @@
+//! Table 1 reproduction: normalized execution time as interpreter features
+//! are added — emulation, basic-block cache, direct-branch linking,
+//! indirect-branch linking, traces — on the crafty-like and vpr-like
+//! workloads.
+//!
+//! Paper bands: emulation ≈ 300×, + bb cache ≈ 26×, + direct links ≈
+//! 5.1 / 3.0, + indirect links ≈ 2.0 / 1.2, + traces ≈ 1.7 / 1.1.
+
+use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::CpuKind;
+use rio_workloads::{benchmark, compile};
+
+fn main() {
+    let kind = CpuKind::Pentium4;
+    let rows: [(&str, Options); 5] = [
+        ("Emulation", Options::emulation()),
+        ("+ Basic block cache", Options::cache_only()),
+        ("+ Link direct branches", Options::with_direct_links()),
+        ("+ Link indirect branches", Options::with_indirect_links()),
+        ("+ Traces", Options::full()),
+    ];
+
+    let mut cols = Vec::new();
+    for name in ["crafty", "vpr"] {
+        let b = benchmark(name).expect("benchmark exists");
+        let image = compile(&b.source).expect("compiles");
+        let (native, exit, out) = native_cycles(&image, kind);
+        let mut col = Vec::new();
+        for (_, opts) in &rows {
+            let r = run_config(&image, *opts, kind, ClientKind::Null);
+            assert_eq!(
+                (r.exit_code, r.output.as_str()),
+                (exit, out.as_str()),
+                "{name} diverged under {opts:?}"
+            );
+            col.push(r.cycles as f64 / native as f64);
+        }
+        cols.push(col);
+    }
+
+    println!("Table 1: normalized execution time (vs native)");
+    println!("{:<26} {:>8} {:>8}", "System Type", "crafty", "vpr");
+    for (i, (name, _)) in rows.iter().enumerate() {
+        println!("{:<26} {:>8.1} {:>8.1}", name, cols[0][i], cols[1][i]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared measurement harness for the experiment binaries.
+
+use rio_clients::{CTrace, Combined, IbDispatch, Inc2Add, Rlr};
+use rio_core::{NullClient, Options, Rio, RioRunResult, Stats};
+use rio_sim::{run_native, CpuKind, Image};
+
+/// Which client to couple with the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Base RIO, no client transformation.
+    Null,
+    /// Redundant load removal (§4.1).
+    Rlr,
+    /// Strength reduction (§4.2).
+    Inc2Add,
+    /// Adaptive indirect branch dispatch (§4.3).
+    IbDispatch,
+    /// Custom call-inlining traces (§4.4).
+    CTrace,
+    /// All four in combination.
+    Combined,
+}
+
+impl ClientKind {
+    /// Display label matching Figure 5's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientKind::Null => "base",
+            ClientKind::Rlr => "rlr",
+            ClientKind::Inc2Add => "inc2add",
+            ClientKind::IbDispatch => "ibdispatch",
+            ClientKind::CTrace => "ctraces",
+            ClientKind::Combined => "combined",
+        }
+    }
+
+    /// All six Figure 5 bars, in order.
+    pub const FIGURE5: [ClientKind; 6] = [
+        ClientKind::Null,
+        ClientKind::Rlr,
+        ClientKind::Inc2Add,
+        ClientKind::IbDispatch,
+        ClientKind::CTrace,
+        ClientKind::Combined,
+    ];
+}
+
+/// Result of one engine run.
+#[derive(Clone, Debug)]
+pub struct ConfigResult {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Application instructions executed in cache/emulation.
+    pub instructions: u64,
+    /// Engine statistics.
+    pub stats: Stats,
+    /// Exit code (for output validation).
+    pub exit_code: i32,
+    /// Application output (for validation).
+    pub output: String,
+}
+
+impl From<RioRunResult> for ConfigResult {
+    fn from(r: RioRunResult) -> ConfigResult {
+        ConfigResult {
+            cycles: r.counters.cycles,
+            instructions: r.counters.instructions,
+            stats: r.stats,
+            exit_code: r.exit_code,
+            output: r.app_output,
+        }
+    }
+}
+
+/// Simulated cycles of a native run.
+pub fn native_cycles(image: &Image, kind: CpuKind) -> (u64, i32, String) {
+    let r = run_native(image, kind);
+    (r.counters.cycles, r.exit_code, r.output)
+}
+
+/// Run an image under the engine with the given options and client.
+pub fn run_config(
+    image: &Image,
+    options: Options,
+    kind: CpuKind,
+    client: ClientKind,
+) -> ConfigResult {
+    match client {
+        ClientKind::Null => Rio::new(image, options, kind, NullClient).run().into(),
+        ClientKind::Rlr => Rio::new(image, options, kind, Rlr::new()).run().into(),
+        ClientKind::Inc2Add => Rio::new(image, options, kind, Inc2Add::new()).run().into(),
+        ClientKind::IbDispatch => Rio::new(image, options, kind, IbDispatch::new()).run().into(),
+        ClientKind::CTrace => Rio::new(image, options, kind, CTrace::new()).run().into(),
+        ClientKind::Combined => Rio::new(image, options, kind, Combined::new()).run().into(),
+    }
+}
+
+/// Convenience: cycles of a full-system run with a client.
+pub fn rio_cycles(image: &Image, kind: CpuKind, client: ClientKind) -> u64 {
+    run_config(image, Options::full(), kind, client).cycles
+}

@@ -1,0 +1,16 @@
+//! # rio-bench — benchmark harnesses
+//!
+//! Binaries that regenerate the paper's evaluation artifacts:
+//!
+//! * `table1` — Table 1 (emulation → cache → links → traces) on crafty/vpr.
+//! * `table2` — Table 2 (decode+encode time and memory per level).
+//! * `figure5` — Figure 5 (normalized execution time, six client bars,
+//!   whole suite).
+//! * `ablation_threshold`, `ablation_tracesize` — parameter sweeps for the
+//!   design choices called out in DESIGN.md.
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+pub mod harness;
+
+pub use harness::{native_cycles, rio_cycles, run_config, ClientKind, ConfigResult};

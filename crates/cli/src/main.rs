@@ -1,0 +1,245 @@
+//! `rio` — command-line front end for the RIO dynamic code modification
+//! system.
+//!
+//! ```text
+//! rio run <prog.dyna | bench:NAME> [options]   run a program under RIO
+//! rio native <prog.dyna | bench:NAME>          run natively (baseline)
+//! rio disasm <prog.dyna | bench:NAME>          disassemble the compiled image
+//! rio fragments <prog.dyna | bench:NAME> [options]  run, then dump the code cache
+//! rio bench-list                               list the benchmark suite
+//!
+//! run options:
+//!   --client NAME     null (default) | rlr | inc2add | ibdispatch |
+//!                     ctrace | combined | shepherd | inscount | opstats
+//!   --cpu p3|p4       processor model (default p4)
+//!   --emulate         Table 1 row 1 configuration
+//!   --no-links        disable direct-branch linking
+//!   --no-ib-links     disable indirect-branch in-cache lookup
+//!   --no-traces       disable trace building
+//!   --threshold N     trace-head threshold (default 50)
+//!   --cache-limit N   per-sub-cache capacity in bytes
+//!   --stats           print engine statistics
+//! ```
+
+use std::process::ExitCode;
+
+use rio_clients::{CTrace, Combined, IbDispatch, Inc2Add, InsCount, OpStats, Rlr, Shepherd};
+use rio_core::{Client, NullClient, Options, Rio, RioRunResult};
+use rio_sim::{run_native, CpuKind, Image};
+use rio_workloads::{benchmark, compile, suite};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rio <run|native|disasm|bench-list> [args]  (see --help in source header)");
+    ExitCode::from(2)
+}
+
+fn load_image(spec: &str) -> Result<Image, String> {
+    let source = if let Some(name) = spec.strip_prefix("bench:") {
+        benchmark(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `rio bench-list`)"))?
+            .source
+    } else {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?
+    };
+    compile(&source).map_err(|e| format!("compile error: {e}"))
+}
+
+struct RunArgs {
+    spec: String,
+    client: String,
+    cpu: CpuKind,
+    options: Options,
+    stats: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        spec: String::new(),
+        client: "null".into(),
+        cpu: CpuKind::Pentium4,
+        options: Options::default(),
+        stats: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--client" => {
+                out.client = it.next().ok_or("--client needs a value")?.clone();
+            }
+            "--cpu" => {
+                out.cpu = match it.next().ok_or("--cpu needs a value")?.as_str() {
+                    "p3" => CpuKind::Pentium3,
+                    "p4" => CpuKind::Pentium4,
+                    other => return Err(format!("unknown cpu `{other}` (p3|p4)")),
+                };
+            }
+            "--emulate" => out.options = Options::emulation(),
+            "--no-links" => {
+                out.options.link_direct = false;
+                out.options.link_indirect = false;
+                out.options.enable_traces = false;
+            }
+            "--no-ib-links" => {
+                out.options.link_indirect = false;
+                out.options.enable_traces = false;
+            }
+            "--no-traces" => out.options.enable_traces = false,
+            "--threshold" => {
+                out.options.trace_threshold = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+            }
+            "--cache-limit" => {
+                out.options.cache_limit = Some(
+                    it.next()
+                        .ok_or("--cache-limit needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad cache limit: {e}"))?,
+                );
+            }
+            "--stats" => out.stats = true,
+            other if !other.starts_with('-') && out.spec.is_empty() => {
+                out.spec = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if out.spec.is_empty() {
+        return Err("missing program (a .dyna file or bench:NAME)".into());
+    }
+    Ok(out)
+}
+
+fn run_with_client(image: &Image, a: &RunArgs) -> Result<RioRunResult, String> {
+    fn go<C: Client>(image: &Image, a: &RunArgs, client: C) -> RioRunResult {
+        Rio::new(image, a.options, a.cpu, client).run()
+    }
+    Ok(match a.client.as_str() {
+        "null" => go(image, a, NullClient),
+        "rlr" => go(image, a, Rlr::new()),
+        "inc2add" => go(image, a, Inc2Add::new()),
+        "ibdispatch" => go(image, a, IbDispatch::new()),
+        "ctrace" => go(image, a, CTrace::new()),
+        "combined" => go(image, a, Combined::new()),
+        "shepherd" => go(image, a, Shepherd::new()),
+        "inscount" => go(image, a, InsCount::new()),
+        "opstats" => go(image, a, OpStats::new()),
+        other => return Err(format!("unknown client `{other}`")),
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_run_args(args)?;
+    let image = load_image(&a.spec)?;
+    let native = run_native(&image, a.cpu);
+    let r = run_with_client(&image, &a)?;
+    print!("{}", r.app_output);
+    if r.app_output != native.output || r.exit_code != native.exit_code {
+        eprintln!("!! DIVERGENCE from native execution (native exit {})", native.exit_code);
+    }
+    if !r.client_output.is_empty() {
+        eprintln!("--- client output ---");
+        eprint!("{}", r.client_output);
+    }
+    eprintln!(
+        "--- {} instrs, {} cycles, {:.3}x native ---",
+        r.counters.instructions,
+        r.counters.cycles,
+        r.counters.cycles as f64 / native.counters.cycles as f64
+    );
+    if a.stats {
+        eprintln!("{}", r.stats);
+        if r.sideline_cycles > 0 {
+            eprintln!("sideline cycles: {}", r.sideline_cycles);
+        }
+    }
+    Ok(ExitCode::from((r.exit_code & 0xFF) as u8))
+}
+
+fn cmd_fragments(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_run_args(args)?;
+    let image = load_image(&a.spec)?;
+    // Run with the null client (or the requested one) and dump the cache.
+    fn go<C: rio_core::Client>(image: &Image, a: &RunArgs, client: C) -> Rio<C> {
+        let mut rio = Rio::new(image, a.options, a.cpu, client);
+        rio.run();
+        rio
+    }
+    // Fragment dumps only need the engine state; use the null client to
+    // keep the cache contents canonical unless another client was asked
+    // for explicitly.
+    if a.client != "null" {
+        let r = run_with_client(&image, &a)?;
+        let _ = r;
+        eprintln!("note: per-client fragment dumps use the null client's run");
+    }
+    let rio = go(&image, &a, NullClient);
+    print!("{}", rio.core.fragment_report());
+    // Also disassemble the hottest-looking fragment (the entry).
+    if let Some(disasm) = rio.core.disassemble_fragment(Image::CODE_BASE) {
+        println!("--- entry fragment ---");
+        print!("{disasm}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_native(args: &[String]) -> Result<ExitCode, String> {
+    let spec = args.first().ok_or("missing program")?;
+    let image = load_image(spec)?;
+    let r = run_native(&image, CpuKind::Pentium4);
+    print!("{}", r.output);
+    eprintln!("--- {} ---", r.counters);
+    Ok(ExitCode::from((r.exit_code & 0xFF) as u8))
+}
+
+fn cmd_disasm(args: &[String]) -> Result<ExitCode, String> {
+    let spec = args.first().ok_or("missing program")?;
+    let image = load_image(spec)?;
+    let lines = rio_ia32::disasm::disassemble(&image.code, Image::CODE_BASE)
+        .map_err(|e| format!("disassembly failed: {e}"))?;
+    for l in lines {
+        println!("{:08x}  {:24}  {:<40} {}", l.pc, l.raw, l.text, l.eflags);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_list() -> ExitCode {
+    println!("{:<10} {:<4} character", "name", "cat");
+    for b in suite() {
+        println!(
+            "{:<10} {:<4} {}",
+            b.name,
+            match b.category {
+                rio_workloads::Category::Int => "int",
+                rio_workloads::Category::Fp => "fp",
+            },
+            b.character
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "native" => cmd_native(rest),
+        "fragments" => cmd_fragments(rest),
+        "disasm" => cmd_disasm(rest),
+        "bench-list" => Ok(cmd_bench_list()),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rio: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

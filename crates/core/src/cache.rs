@@ -1,0 +1,467 @@
+//! Fragments, exit stubs, and the code cache.
+//!
+//! A *fragment* is "either a basic block or a trace in the code cache"
+//! (paper §2). The cache is split into a basic-block cache and a trace cache
+//! (thread-private in the original; one simulated thread here), each a bump
+//! allocator over its region of the simulated address space. The paper's
+//! evaluation runs with unlimited cache space, and so does this
+//! implementation — deleted fragments are unlinked and dropped from the
+//! lookup tables but their bytes are not reused.
+
+use std::collections::HashMap;
+
+use rio_sim::Image;
+
+/// Identifies a fragment for the lifetime of the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FragmentId(pub u32);
+
+/// Basic block or trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FragmentKind {
+    /// A single-entry single-CTI-terminated block.
+    BasicBlock,
+    /// A stitched sequence of hot blocks.
+    Trace,
+}
+
+/// Which kind of indirect branch an exit translates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndKind {
+    /// A near return.
+    Ret,
+    /// An indirect jump.
+    Jmp,
+    /// An indirect call.
+    Call,
+}
+
+/// Where an exit goes when control leaves the fragment through it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Direct transfer to a known application address.
+    Direct {
+        /// Target application tag.
+        target: u32,
+    },
+    /// Indirect transfer; the target is computed at runtime into `%ecx`.
+    Indirect {
+        /// The kind of original indirect branch.
+        kind: IndKind,
+    },
+}
+
+/// One exit from a fragment.
+#[derive(Clone, Debug)]
+pub struct Exit {
+    /// Classification and (for direct exits) the target tag.
+    pub kind: ExitKind,
+    /// Global stub index (sentinel = `layout::stub_sentinel(stub)`).
+    pub stub: u32,
+    /// Cache address of the exit branch's rel32 displacement field — the
+    /// word patched when this exit is linked.
+    pub branch_disp_addr: u32,
+    /// Cache address this exit branches to when unlinked (the stub body, or
+    /// the stub sentinel directly when the stub is empty).
+    pub unlinked_target: u32,
+    /// Cache address of the stub's final `jmp` displacement — the word
+    /// patched instead of `branch_disp_addr` when `force_stub` is set.
+    pub stub_jmp_disp_addr: u32,
+    /// Always route through the stub, even when linked (paper §3.2: custom
+    /// exit stubs).
+    pub force_stub: bool,
+    /// Fragment this exit is currently linked to.
+    pub linked_to: Option<FragmentId>,
+    /// Byte offset of the exit branch instruction within the fragment.
+    pub branch_instr_off: u32,
+}
+
+/// A fragment resident in the code cache.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Identity.
+    pub id: FragmentId,
+    /// Application address this fragment translates (paper: "the tag
+    /// parameters serve to uniquely identify fragments by their original
+    /// application origin").
+    pub tag: u32,
+    /// Basic block or trace.
+    pub kind: FragmentKind,
+    /// Cache address of the fragment entry.
+    pub start: u32,
+    /// Length of the body in bytes (exit stubs follow the body).
+    pub body_len: u32,
+    /// Total length including stubs.
+    pub total_len: u32,
+    /// The fragment's exits in emission order.
+    pub exits: Vec<Exit>,
+    /// Incoming links as `(source fragment, exit index)`.
+    pub incoming: Vec<(FragmentId, usize)>,
+    /// Whether this basic block is a trace head (counter maintained by
+    /// dispatch; trace heads are never link targets).
+    pub is_trace_head: bool,
+    /// Trace-head execution counter.
+    pub counter: u32,
+    /// Whether the fragment has been deleted (awaiting or past the safe
+    /// deletion point).
+    pub deleted: bool,
+}
+
+impl Fragment {
+    /// The `[start, end)` cache range of body + stubs.
+    pub fn range(&self) -> (u32, u32) {
+        (self.start, self.start + self.total_len)
+    }
+
+    /// Whether a cache address falls within this fragment.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.start + self.total_len
+    }
+}
+
+/// Maps a global stub index back to its fragment and exit.
+#[derive(Clone, Copy, Debug)]
+pub struct StubRecord {
+    /// Owning fragment.
+    pub frag: FragmentId,
+    /// Index into [`Fragment::exits`].
+    pub exit_idx: usize,
+}
+
+/// The code cache: fragment storage, tag lookup tables, stub records, and
+/// the two bump allocators.
+///
+/// Caches are **thread-private** (paper §2: "DynamoRIO maintains
+/// thread-private code caches"): each simulated thread owns one, carved out
+/// of a disjoint slice of the cache region, so no synchronization between
+/// threads is ever needed and a thread can only ever execute its own
+/// fragments.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    frags: Vec<Fragment>,
+    stubs: Vec<StubRecord>,
+    bb_by_tag: HashMap<u32, FragmentId>,
+    trace_by_tag: HashMap<u32, FragmentId>,
+    entry_by_addr: HashMap<u32, FragmentId>,
+    bb_base: u32,
+    bb_limit: u32,
+    trace_base: u32,
+    trace_limit: u32,
+    bb_next: u32,
+    trace_next: u32,
+    stub_offset: u32,
+}
+
+/// Address-space slice per thread-private cache (16 MiB bb + 16 MiB trace).
+const THREAD_SLICE: u32 = 0x0200_0000;
+/// Maximum simulated threads (bounded by the cache region).
+pub const MAX_THREADS: u32 = (Image::CACHE_END - Image::CACHE_BASE) / THREAD_SLICE;
+/// Stub-index space per thread (8 threads x 512Ki indices fit exactly in
+/// the 16 MiB stub sentinel range).
+const STUBS_PER_THREAD: u32 = 1 << 19;
+
+impl CodeCache {
+    /// Create the cache for thread 0.
+    pub fn new() -> CodeCache {
+        CodeCache::for_thread(0)
+    }
+
+    /// Create the thread-private cache for thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= MAX_THREADS`.
+    pub fn for_thread(t: u32) -> CodeCache {
+        assert!(t < MAX_THREADS, "too many threads (max {MAX_THREADS})");
+        let base = Image::CACHE_BASE + t * THREAD_SLICE;
+        CodeCache {
+            bb_base: base,
+            bb_limit: base + THREAD_SLICE / 2,
+            trace_base: base + THREAD_SLICE / 2,
+            trace_limit: base + THREAD_SLICE,
+            bb_next: base,
+            trace_next: base + THREAD_SLICE / 2,
+            stub_offset: t * STUBS_PER_THREAD,
+            ..CodeCache::default()
+        }
+    }
+
+    /// This cache's `[start, end)` region (both sub-caches) — the only
+    /// addresses its thread may execute.
+    pub fn region(&self) -> (u32, u32) {
+        (self.bb_base, self.trace_limit)
+    }
+
+    /// Reserve `len` bytes in the basic-block or trace cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sub-cache region is exhausted (128 MiB of fragments —
+    /// far beyond any workload here; the paper's runs also used unlimited
+    /// cache space).
+    pub fn alloc(&mut self, kind: FragmentKind, len: u32) -> u32 {
+        let (next, limit) = match kind {
+            FragmentKind::BasicBlock => (&mut self.bb_next, self.bb_limit),
+            FragmentKind::Trace => (&mut self.trace_next, self.trace_limit),
+        };
+        let start = *next;
+        assert!(start + len < limit, "code cache exhausted");
+        // Align fragments to 16 bytes like the original (cache-line
+        // friendliness of fragment entries).
+        *next = (start + len + 15) & !15;
+        start
+    }
+
+    /// Bytes currently allocated in a sub-cache.
+    pub fn used(&self, kind: FragmentKind) -> u32 {
+        match kind {
+            FragmentKind::BasicBlock => self.bb_next - self.bb_base,
+            FragmentKind::Trace => self.trace_next - self.trace_base,
+        }
+    }
+
+    /// Flush a sub-cache: remove every live fragment of `kind` from the
+    /// lookup tables and reset its allocator. Returns the flushed fragment
+    /// ids (callers must unlink them and fire `fragment_deleted` hooks).
+    ///
+    /// Fragment *bytes* stay valid until new fragments overwrite them, so a
+    /// flush is safe to perform at any engine safe point (control out of
+    /// the cache).
+    pub fn flush(&mut self, kind: FragmentKind) -> Vec<FragmentId> {
+        let ids: Vec<FragmentId> = self
+            .frags
+            .iter()
+            .filter(|f| f.kind == kind && !f.deleted)
+            .map(|f| f.id)
+            .collect();
+        for id in &ids {
+            self.remove_from_maps(*id);
+        }
+        match kind {
+            FragmentKind::BasicBlock => self.bb_next = self.bb_base,
+            FragmentKind::Trace => self.trace_next = self.trace_base,
+        }
+        ids
+    }
+
+    /// Register a fragment built by the emitter. Returns its id.
+    pub fn insert(&mut self, mut frag: Fragment) -> FragmentId {
+        let id = FragmentId(self.frags.len() as u32);
+        frag.id = id;
+        match frag.kind {
+            FragmentKind::BasicBlock => self.bb_by_tag.insert(frag.tag, id),
+            FragmentKind::Trace => self.trace_by_tag.insert(frag.tag, id),
+        };
+        self.entry_by_addr.insert(frag.start, id);
+        self.frags.push(frag);
+        id
+    }
+
+    /// Reserve the next `n` stub indices for a fragment being built. Indices
+    /// are globally unique across thread-private caches (each cache owns a
+    /// disjoint index range).
+    pub fn reserve_stubs(&mut self, frag: FragmentId, exits: usize) -> u32 {
+        let base = self.stubs.len() as u32;
+        for exit_idx in 0..exits {
+            self.stubs.push(StubRecord { frag, exit_idx });
+        }
+        self.stub_offset + base
+    }
+
+    /// Pre-assign the fragment id the next [`CodeCache::insert`] will use.
+    pub fn next_id(&self) -> FragmentId {
+        FragmentId(self.frags.len() as u32)
+    }
+
+    /// Resolve a stub index (accepts this cache's global indices).
+    pub fn stub(&self, index: u32) -> Option<StubRecord> {
+        let local = index.checked_sub(self.stub_offset)?;
+        self.stubs.get(local as usize).copied()
+    }
+
+    /// Borrow a fragment.
+    pub fn frag(&self, id: FragmentId) -> &Fragment {
+        &self.frags[id.0 as usize]
+    }
+
+    /// Mutably borrow a fragment.
+    pub fn frag_mut(&mut self, id: FragmentId) -> &mut Fragment {
+        &mut self.frags[id.0 as usize]
+    }
+
+    /// The fragment to execute for `tag`: the trace if one exists, else the
+    /// basic block (paper: traces shadow their head blocks).
+    pub fn lookup(&self, tag: u32) -> Option<FragmentId> {
+        self.trace_by_tag
+            .get(&tag)
+            .or_else(|| self.bb_by_tag.get(&tag))
+            .copied()
+    }
+
+    /// The basic block for `tag`, ignoring traces.
+    pub fn lookup_bb(&self, tag: u32) -> Option<FragmentId> {
+        self.bb_by_tag.get(&tag).copied()
+    }
+
+    /// The trace for `tag`, if any.
+    pub fn lookup_trace(&self, tag: u32) -> Option<FragmentId> {
+        self.trace_by_tag.get(&tag).copied()
+    }
+
+    /// The fragment whose entry is exactly the cache address `addr`.
+    pub fn by_entry(&self, addr: u32) -> Option<FragmentId> {
+        self.entry_by_addr.get(&addr).copied()
+    }
+
+    /// Remove a fragment from the lookup tables (it can no longer be entered
+    /// or linked; its bytes stay resident until control has left them).
+    pub fn remove_from_maps(&mut self, id: FragmentId) {
+        let (tag, kind, start) = {
+            let f = self.frag(id);
+            (f.tag, f.kind, f.start)
+        };
+        match kind {
+            FragmentKind::BasicBlock => {
+                if self.bb_by_tag.get(&tag) == Some(&id) {
+                    self.bb_by_tag.remove(&tag);
+                }
+            }
+            FragmentKind::Trace => {
+                if self.trace_by_tag.get(&tag) == Some(&id) {
+                    self.trace_by_tag.remove(&tag);
+                }
+            }
+        }
+        if self.entry_by_addr.get(&start) == Some(&id) {
+            self.entry_by_addr.remove(&start);
+        }
+    }
+
+    /// Iterate over all fragments ever created (including deleted ones).
+    pub fn iter(&self) -> impl Iterator<Item = &Fragment> {
+        self.frags.iter()
+    }
+
+    /// Number of fragments ever created.
+    pub fn len(&self) -> usize {
+        self.frags.len()
+    }
+
+    /// Whether no fragments exist.
+    pub fn is_empty(&self) -> bool {
+        self.frags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_frag(tag: u32, kind: FragmentKind, start: u32) -> Fragment {
+        Fragment {
+            id: FragmentId(0),
+            tag,
+            kind,
+            start,
+            body_len: 10,
+            total_len: 20,
+            exits: Vec::new(),
+            incoming: Vec::new(),
+            is_trace_head: false,
+            counter: 0,
+            deleted: false,
+        }
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut c = CodeCache::new();
+        let a = c.alloc(FragmentKind::BasicBlock, 33);
+        let b = c.alloc(FragmentKind::BasicBlock, 7);
+        assert_eq!(a % 16, 0);
+        assert_eq!(b % 16, 0);
+        assert!(b >= a + 33);
+        let t = c.alloc(FragmentKind::Trace, 100);
+        assert!(t >= Image::CACHE_BASE + THREAD_SLICE / 2);
+    }
+
+    #[test]
+    fn thread_caches_occupy_disjoint_regions_and_stub_spaces() {
+        let mut c0 = CodeCache::for_thread(0);
+        let mut c1 = CodeCache::for_thread(1);
+        let (s0, e0) = c0.region();
+        let (s1, e1) = c1.region();
+        assert!(e0 <= s1 || e1 <= s0, "regions overlap");
+        let a0 = c0.alloc(FragmentKind::BasicBlock, 64);
+        let a1 = c1.alloc(FragmentKind::BasicBlock, 64);
+        assert!(a0 < e0 && a0 >= s0);
+        assert!(a1 < e1 && a1 >= s1);
+        // Stub index spaces are disjoint and self-resolving.
+        let id0 = c0.next_id();
+        let id1 = c1.next_id();
+        let b0 = c0.reserve_stubs(id0, 2);
+        let b1 = c1.reserve_stubs(id1, 2);
+        assert_ne!(b0, b1);
+        assert!(c0.stub(b0).is_some());
+        assert!(c0.stub(b1).is_none(), "foreign stub must not resolve");
+        assert!(c1.stub(b1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many threads")]
+    fn thread_count_is_bounded() {
+        let _ = CodeCache::for_thread(MAX_THREADS);
+    }
+
+    #[test]
+    fn trace_shadows_basic_block() {
+        let mut c = CodeCache::new();
+        let bb_start = c.alloc(FragmentKind::BasicBlock, 16);
+        let bb = c.insert(dummy_frag(0x1000, FragmentKind::BasicBlock, bb_start));
+        assert_eq!(c.lookup(0x1000), Some(bb));
+        let tr_start = c.alloc(FragmentKind::Trace, 16);
+        let tr = c.insert(dummy_frag(0x1000, FragmentKind::Trace, tr_start));
+        assert_eq!(c.lookup(0x1000), Some(tr));
+        assert_eq!(c.lookup_bb(0x1000), Some(bb));
+        assert_eq!(c.by_entry(bb_start), Some(bb));
+        assert_eq!(c.by_entry(tr_start), Some(tr));
+    }
+
+    #[test]
+    fn stub_records_round_trip() {
+        let mut c = CodeCache::new();
+        let id = c.next_id();
+        let base = c.reserve_stubs(id, 3);
+        assert_eq!(base, 0);
+        let rec = c.stub(base + 2).unwrap();
+        assert_eq!(rec.frag, id);
+        assert_eq!(rec.exit_idx, 2);
+        assert!(c.stub(99).is_none());
+    }
+
+    #[test]
+    fn remove_from_maps_hides_fragment() {
+        let mut c = CodeCache::new();
+        let start = c.alloc(FragmentKind::BasicBlock, 16);
+        let id = c.insert(dummy_frag(0x2000, FragmentKind::BasicBlock, start));
+        c.remove_from_maps(id);
+        assert_eq!(c.lookup(0x2000), None);
+        assert_eq!(c.by_entry(start), None);
+        // Fragment data still accessible by id (bytes stay resident).
+        assert_eq!(c.frag(id).tag, 0x2000);
+    }
+
+    #[test]
+    fn remove_does_not_clobber_replacement() {
+        // After a replacement installs a new fragment for the same tag,
+        // removing the old one must not hide the new one.
+        let mut c = CodeCache::new();
+        let s1 = c.alloc(FragmentKind::Trace, 16);
+        let old = c.insert(dummy_frag(0x3000, FragmentKind::Trace, s1));
+        let s2 = c.alloc(FragmentKind::Trace, 16);
+        let new = c.insert(dummy_frag(0x3000, FragmentKind::Trace, s2));
+        assert_eq!(c.lookup(0x3000), Some(new));
+        c.remove_from_maps(old);
+        assert_eq!(c.lookup(0x3000), Some(new));
+    }
+}

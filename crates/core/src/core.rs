@@ -1,0 +1,553 @@
+//! The `Core` context: the engine state handed to client hooks.
+//!
+//! `Core` plays the role of the paper's opaque `context` parameter plus the
+//! exported API (§3.2): transparent output, register spill slots, a generic
+//! thread-local field, processor identification, custom exit stubs, clean
+//! calls, custom trace heads (§3.5), and the adaptive-optimization interface
+//! `dr_decode_fragment` / `dr_replace_fragment` (§3.4).
+
+use std::collections::HashSet;
+
+use rio_ia32::{create, decode_instr, Instr, InstrId, InstrList, MemRef, OpSize, Reg, Target};
+use rio_sim::{CpuKind, Image, Machine, Os};
+
+use crate::cache::{CodeCache, ExitKind, FragmentId, FragmentKind};
+use crate::config::{layout, Options, RioCosts};
+use crate::emit::{emit_fragment, CustomStub};
+use crate::link::{redirect_incoming, unlink_incoming, unlink_outgoing};
+use crate::mangle::Note;
+use crate::stats::Stats;
+
+/// State of an in-progress trace recording (§3.5's trace generation mode).
+#[derive(Clone, Debug)]
+pub(crate) struct Recording {
+    /// The trace head tag.
+    pub trace_tag: u32,
+    /// Tags of the blocks recorded so far, in execution order.
+    pub tags: Vec<u32>,
+}
+
+/// Per-thread engine state: the thread-private cache plus trace-recording
+/// state (paper §2: thread-private caches "enable thread-specific
+/// optimizations" and avoid all cross-thread synchronization).
+pub(crate) struct ThreadCore {
+    pub cache: CodeCache,
+    pub recording: Option<Recording>,
+    pub last_exit_was_return: bool,
+}
+
+impl ThreadCore {
+    pub(crate) fn new(tid: u32) -> ThreadCore {
+        ThreadCore {
+            cache: CodeCache::for_thread(tid),
+            recording: None,
+            last_exit_was_return: false,
+        }
+    }
+}
+
+/// The engine context passed to every client hook.
+pub struct Core {
+    /// The simulated machine executing the code cache.
+    pub machine: Machine,
+    /// Engine configuration.
+    pub options: Options,
+    /// Runtime overhead cost parameters.
+    pub costs: RioCosts,
+    /// Engine statistics.
+    pub stats: Stats,
+    pub(crate) threads: Vec<ThreadCore>,
+    pub(crate) cur: usize,
+    pub(crate) os: Os,
+    pub(crate) pending_deletions: Vec<FragmentId>,
+    pub(crate) pending_custom_stubs: Vec<CustomStub>,
+    pub(crate) marked_heads: HashSet<u32>,
+    pub(crate) app_entry: u32,
+    pub(crate) app_code_range: (u32, u32),
+    clean_call_args: Vec<u64>,
+    client_output: String,
+    sideline_queue: Vec<(u32, u64)>,
+    sideline_cycles: u64,
+}
+
+impl Core {
+    /// Create a core over a fresh machine with `image` loaded.
+    pub fn new(image: &Image, options: Options, kind: CpuKind) -> Core {
+        let mut machine = Machine::new(kind);
+        machine.load_image(image);
+        Core {
+            machine,
+            options,
+            costs: RioCosts::default(),
+            stats: Stats::default(),
+            threads: vec![ThreadCore::new(0)],
+            cur: 0,
+            os: Os::new(),
+            pending_deletions: Vec::new(),
+            pending_custom_stubs: Vec::new(),
+            marked_heads: HashSet::new(),
+            app_entry: image.entry,
+            app_code_range: image.code_range(),
+            clean_call_args: Vec::new(),
+            client_output: String::new(),
+            sideline_queue: Vec::new(),
+            sideline_cycles: 0,
+        }
+    }
+
+    // ----- transparency (§3.2) -------------------------------------------
+
+    /// Transparent client output (paper: `dr_printf`) — buffered separately
+    /// from the application's output so client I/O can never interleave
+    /// with or corrupt it.
+    pub fn printf(&mut self, s: impl AsRef<str>) {
+        self.client_output.push_str(s.as_ref());
+    }
+
+    /// Everything the client printed so far.
+    pub fn client_output(&self) -> &str {
+        &self.client_output
+    }
+
+    /// The application's buffered output so far.
+    pub fn app_output(&self) -> &str {
+        &self.os.output
+    }
+
+    // ----- processor identification (§3.2) -------------------------------
+
+    /// The processor family the code cache runs on (paper:
+    /// `proc_get_family`), for architecture-specific optimizations.
+    pub fn proc_kind(&self) -> CpuKind {
+        self.machine.cost.kind()
+    }
+
+    // ----- overhead accounting -------------------------------------------
+
+    /// Charge cycles of client work (optimization time) to the run. The
+    /// paper's evaluation includes optimization time in the measured runs;
+    /// clients call this to model theirs.
+    pub fn charge(&mut self, cycles: u64) {
+        self.machine.charge(cycles);
+    }
+
+    // ----- spill slots and client TLS (§3.2) ------------------------------
+
+    /// The thread-local spill slot for a register (paper: "special
+    /// thread-local slots to spill registers"). Only `%ecx`, `%eax`, and
+    /// `%edx` have dedicated slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics for registers without a slot.
+    pub fn spill_slot(reg: Reg) -> MemRef {
+        let addr = match reg.parent32() {
+            Reg::Ecx => layout::ECX_SLOT,
+            Reg::Eax => layout::EAX_SLOT,
+            Reg::Edx => layout::EDX_SLOT,
+            other => panic!("no spill slot for {other}"),
+        };
+        MemRef::absolute(addr, OpSize::S32)
+    }
+
+    /// Read the generic client thread-local field (paper §3.2). The field is
+    /// also addressable from generated code via
+    /// [`layout::CLIENT_TLS_SLOT`](crate::config::layout::CLIENT_TLS_SLOT).
+    ///
+    /// Note: with cooperative multithreading the slot is shared across
+    /// threads (as are the register spill slots). This is safe for the
+    /// engine's own spills — threads only switch at system calls, never
+    /// inside a mangled spill/restore sequence — but clients storing
+    /// longer-lived per-thread state should key it by
+    /// [`Core::current_thread`].
+    pub fn client_tls(&self) -> u32 {
+        self.machine.mem.read_u32(layout::CLIENT_TLS_SLOT)
+    }
+
+    /// Write the generic client thread-local field.
+    pub fn set_client_tls(&mut self, v: u32) {
+        self.machine.mem.write_u32(layout::CLIENT_TLS_SLOT, v);
+    }
+
+    // ----- custom exit stubs (§3.2) ---------------------------------------
+
+    /// Request that `instrs` be prepended to the exit stub of the exit CTI
+    /// `exit`, optionally forcing the exit to route through the stub even
+    /// when linked. Applies to the fragment currently being built (call from
+    /// within a `basic_block` or `trace` hook).
+    pub fn append_exit_stub(&mut self, exit: InstrId, instrs: InstrList, force_stub: bool) {
+        self.pending_custom_stubs.push(CustomStub {
+            exit_instr: exit,
+            instrs,
+            force_stub,
+        });
+    }
+
+    // ----- clean calls ----------------------------------------------------
+
+    /// Create a call instruction that, when executed in the code cache,
+    /// transfers to the client's [`Client::clean_call`] hook with `arg`
+    /// (the mechanism behind Figure 4's `call prof_routine`). Insert the
+    /// returned instruction anywhere in a block or trace.
+    ///
+    /// [`Client::clean_call`]: crate::Client::clean_call
+    pub fn clean_call_instr(&mut self, arg: u64) -> Instr {
+        let token = self.clean_call_args.len() as u32;
+        self.clean_call_args.push(arg);
+        create::call(Target::Pc(layout::clean_call_sentinel(token)))
+    }
+
+    /// The argument registered for clean-call token `token`.
+    pub(crate) fn clean_call_arg(&self, token: u32) -> Option<u64> {
+        self.clean_call_args.get(token as usize).copied()
+    }
+
+    // ----- custom traces (§3.5) -------------------------------------------
+
+    /// Mark `tag` as a trace head (paper: `dr_mark_trace_head`). Future and
+    /// existing blocks for `tag` will be counted in dispatch and eventually
+    /// grown into traces; any links into an existing block are severed so
+    /// dispatch sees every execution.
+    pub fn mark_trace_head(&mut self, tag: u32) {
+        if !self.marked_heads.insert(tag) {
+            return;
+        }
+        self.stats.trace_heads += 1;
+        if let Some(id) = self.threads[self.cur].cache.lookup_bb(tag) {
+            if !self.threads[self.cur].cache.frag(id).is_trace_head {
+                self.threads[self.cur].cache.frag_mut(id).is_trace_head = true;
+                let n_unlinked = self.threads[self.cur].cache.frag(id).incoming.len() as u64;
+                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
+                self.stats.unlinks += n_unlinked;
+            }
+        }
+    }
+
+    /// Whether `tag` has been marked as a trace head.
+    pub fn is_trace_head(&self, tag: u32) -> bool {
+        self.marked_heads.contains(&tag)
+    }
+
+    /// Whether a trace is currently being recorded.
+    pub fn in_trace_recording(&self) -> bool {
+        self.threads[self.cur].recording.is_some()
+    }
+
+    /// Number of blocks recorded so far in the current trace.
+    pub fn recording_block_count(&self) -> usize {
+        self.threads[self.cur].recording.as_ref().map_or(0, |r| r.tags.len())
+    }
+
+    /// Whether the most recent fragment exit was a translated return —
+    /// exposed for custom-trace clients implementing §4.4's "once a return
+    /// is reached, the trace is ended after the next basic block".
+    pub fn last_exit_was_return(&self) -> bool {
+        self.threads[self.cur].last_exit_was_return
+    }
+
+    // ----- fragment queries -----------------------------------------------
+
+    /// Whether a fragment (block or trace) exists for `tag`.
+    pub fn fragment_exists(&self, tag: u32) -> bool {
+        self.threads[self.cur].cache.lookup(tag).is_some()
+    }
+
+    /// The kind of fragment that will execute for `tag`.
+    pub fn fragment_kind(&self, tag: u32) -> Option<FragmentKind> {
+        self.threads[self.cur].cache.lookup(tag).map(|id| self.threads[self.cur].cache.frag(id).kind)
+    }
+
+    // ----- adaptive optimization (§3.4) ------------------------------------
+
+    /// Re-create the `InstrList` for the fragment executing for `tag` from
+    /// the code cache (paper: `dr_decode_fragment`).
+    ///
+    /// The list reflects exactly the code in the cache body (stubs
+    /// excluded). Exit branches are re-targeted to their application
+    /// addresses (direct) or the lookup sentinel (indirect, with their
+    /// [`Note::IbExit`] marker restored); intra-fragment branches become
+    /// label targets. Inline-check region markers are not reconstructable
+    /// from machine code and are absent.
+    pub fn decode_fragment(&self, tag: u32) -> Option<InstrList> {
+        let id = self.threads[self.cur].cache.lookup(tag)?;
+        let frag = self.threads[self.cur].cache.frag(id);
+        let start = frag.start;
+        let body_end = start + frag.body_len;
+
+        // Pass 1: linear decode of the body.
+        let mut decoded: Vec<(u32, Instr)> = Vec::new();
+        let mut pc = start;
+        let mut buf = [0u8; 16];
+        while pc < body_end {
+            self.machine.mem.read_bytes(pc, &mut buf);
+            let (instr, len) = decode_instr(&buf, pc).ok()?;
+            decoded.push((pc - start, instr));
+            pc += len;
+        }
+
+        // Exit branch offsets -> exit metadata.
+        let exit_at = |off: u32| frag.exits.iter().find(|e| e.branch_instr_off == off);
+
+        // Intra-fragment branch targets that need labels.
+        let mut label_offsets: Vec<u32> = Vec::new();
+        for (off, instr) in &decoded {
+            if exit_at(*off).is_some() {
+                continue;
+            }
+            if let Some(Target::Pc(t)) = instr.target() {
+                if t >= start && t < body_end {
+                    label_offsets.push(t - start);
+                }
+            }
+        }
+
+        // Pass 2: build the list, inserting labels and fixing targets.
+        let mut il = InstrList::new();
+        let mut label_ids: Vec<(u32, InstrId)> = Vec::new();
+        for (off, instr) in decoded {
+            if label_offsets.contains(&off) {
+                let lid = il.push_back(Instr::label());
+                label_ids.push((off, lid));
+            }
+            let mut instr = instr;
+            if let Some(exit) = exit_at(off) {
+                match exit.kind {
+                    ExitKind::Direct { target } => instr.set_target(Target::Pc(target)),
+                    ExitKind::Indirect { kind } => {
+                        instr.set_target(Target::Pc(layout::IB_LOOKUP));
+                        instr.note = Note::IbExit(kind).pack();
+                    }
+                }
+            }
+            il.push_back(instr);
+        }
+        // Fix intra-fragment targets to labels.
+        let ids: Vec<InstrId> = il.ids().collect();
+        for id in ids {
+            let instr = il.get(id);
+            if Note::parse(instr.note).is_some() {
+                continue;
+            }
+            if let Some(Target::Pc(t)) = instr.target() {
+                if t >= start && t < body_end {
+                    let off = t - start;
+                    if let Some((_, lid)) = label_ids.iter().find(|(o, _)| *o == off) {
+                        il.get_mut(id).set_target(Target::Instr(*lid));
+                    }
+                }
+            }
+        }
+        Some(il)
+    }
+
+    /// Replace the fragment for `tag` with a new version built from `il`
+    /// (paper: `dr_replace_fragment`).
+    ///
+    /// The replacement is safe even while execution is logically inside the
+    /// old fragment (e.g. from a clean call out of it): all links targeting
+    /// and originating from the old fragment are immediately redirected, the
+    /// old fragment's bytes stay resident, and it is deleted at the next
+    /// safe point — so "the current thread will continue to execute in the
+    /// old fragment only until the next branch" (§3.4).
+    ///
+    /// Returns `false` if no fragment exists for `tag` or the new list fails
+    /// to encode.
+    pub fn replace_fragment(&mut self, tag: u32, il: InstrList) -> bool {
+        let Some(old) = self.threads[self.cur].cache.lookup(tag) else {
+            return false;
+        };
+        let kind = self.threads[self.cur].cache.frag(old).kind;
+        self.charge(self.costs.replace_fragment);
+        let custom = std::mem::take(&mut self.pending_custom_stubs);
+        let Ok(new) = emit_fragment(&mut self.machine, &mut self.threads[self.cur].cache, kind, tag, il, custom)
+        else {
+            return false;
+        };
+        // Preserve trace-head status and counter.
+        let (head, counter) = {
+            let f = self.threads[self.cur].cache.frag(old);
+            (f.is_trace_head, f.counter)
+        };
+        {
+            let f = self.threads[self.cur].cache.frag_mut(new);
+            f.is_trace_head = head;
+            f.counter = counter;
+        }
+        let moved = self.threads[self.cur].cache.frag(old).incoming.len() as u64;
+        redirect_incoming(&mut self.machine, &mut self.threads[self.cur].cache, old, new);
+        self.stats.links += moved;
+        self.stats.unlinks += moved;
+        unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, old);
+        self.threads[self.cur].cache.remove_from_maps(old);
+        self.pending_deletions.push(old);
+        self.stats.replacements += 1;
+        true
+    }
+
+    /// Drain fragments awaiting deletion (engine-internal; called at safe
+    /// points). Returns their tags for the `fragment_deleted` client hook.
+    pub(crate) fn take_safe_deletions(&mut self) -> Vec<u32> {
+        let mut tags = Vec::new();
+        let eip = self.machine.cpu.eip;
+        let mut still_pending = Vec::new();
+        for id in std::mem::take(&mut self.pending_deletions) {
+            let inside = self.threads[self.cur].cache.frag(id).contains(eip);
+            if inside {
+                still_pending.push(id);
+            } else {
+                self.threads[self.cur].cache.frag_mut(id).deleted = true;
+                self.stats.deletions += 1;
+                tags.push(self.threads[self.cur].cache.frag(id).tag);
+            }
+        }
+        self.pending_deletions = still_pending;
+        tags
+    }
+
+    // ----- sideline optimization (§3.4's future-work extension) ------------
+
+    /// Queue work for the sideline optimizer: the engine will call
+    /// [`Client::sideline_optimize`] with `tag` and `arg` at the next
+    /// dispatch, *off the application's critical path* — the "sideline
+    /// optimization using this low-overhead trace replacement" the paper
+    /// plans in §3.4. Use [`Core::charge_sideline`] inside the handler so
+    /// the optimization time lands on the sideline budget rather than the
+    /// application's cycles.
+    ///
+    /// [`Client::sideline_optimize`]: crate::Client::sideline_optimize
+    pub fn request_sideline(&mut self, tag: u32, arg: u64) {
+        self.sideline_queue.push((tag, arg));
+    }
+
+    /// Charge cycles to the sideline optimizer (a concurrent thread in the
+    /// paper's plan), not to the application run.
+    pub fn charge_sideline(&mut self, cycles: u64) {
+        self.sideline_cycles += cycles;
+    }
+
+    /// Total cycles spent in sideline optimization.
+    pub fn sideline_cycles(&self) -> u64 {
+        self.sideline_cycles
+    }
+
+    /// Drain pending sideline requests (engine-internal).
+    pub(crate) fn take_sideline_requests(&mut self) -> Vec<(u32, u64)> {
+        std::mem::take(&mut self.sideline_queue)
+    }
+
+    // ----- cache capacity management ----------------------------------------
+
+    /// If a sub-cache exceeds [`Options::cache_limit`], flush it: unlink
+    /// everything, drop it from the lookup tables, and reset the allocator.
+    /// Called at dispatch (a safe point — control is out of the cache).
+    /// Returns the tags of flushed fragments for `fragment_deleted` hooks.
+    pub(crate) fn process_cache_pressure(&mut self) -> Vec<u32> {
+        let Some(limit) = self.options.cache_limit else {
+            return Vec::new();
+        };
+        let mut tags = Vec::new();
+        for kind in [FragmentKind::BasicBlock, FragmentKind::Trace] {
+            if self.threads[self.cur].cache.used(kind) <= limit {
+                continue;
+            }
+            self.stats.cache_flushes += 1;
+            let flushed = self.threads[self.cur].cache.flush(kind);
+            for id in &flushed {
+                // Detach survivors pointing in, and this fragment's own
+                // outgoing links.
+                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, *id);
+                crate::link::unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, *id);
+            }
+            for id in flushed {
+                let f = self.threads[self.cur].cache.frag_mut(id);
+                f.deleted = true;
+                tags.push(f.tag);
+                self.stats.deletions += 1;
+            }
+        }
+        tags
+    }
+
+    // ----- introspection for reports ---------------------------------------
+
+    /// The current thread's code cache (read-only), for tests and reports.
+    pub fn cache(&self) -> &CodeCache {
+        &self.threads[self.cur].cache
+    }
+
+    /// Number of threads created so far (including the initial thread).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The currently executing thread's id.
+    pub fn current_thread(&self) -> usize {
+        self.cur
+    }
+
+    /// A specific thread's private cache, for cross-thread inspection in
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread_cache(&self, tid: usize) -> &CodeCache {
+        &self.threads[tid].cache
+    }
+
+    /// A human-readable listing of the current thread's live fragments:
+    /// tag, kind, cache placement, and per-exit link state. A debugging aid
+    /// in the spirit of DynamoRIO's `-loglevel` fragment dumps.
+    pub fn fragment_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let cache = self.cache();
+        for f in cache.iter().filter(|f| !f.deleted) {
+            let kind = match f.kind {
+                FragmentKind::BasicBlock => "bb   ",
+                FragmentKind::Trace => "trace",
+            };
+            let _ = writeln!(
+                out,
+                "{kind} tag={:#010x} cache={:#010x}+{:<4} exits={}{}",
+                f.tag,
+                f.start,
+                f.total_len,
+                f.exits.len(),
+                if f.is_trace_head {
+                    format!("  [trace head, count {}]", f.counter)
+                } else {
+                    String::new()
+                }
+            );
+            for (i, e) in f.exits.iter().enumerate() {
+                let desc = match e.kind {
+                    ExitKind::Direct { target } => format!("direct -> {target:#010x}"),
+                    ExitKind::Indirect { kind } => format!("indirect ({kind:?})"),
+                };
+                let link = match e.linked_to {
+                    Some(id) => format!("linked to {:#010x}", cache.frag(id).start),
+                    None => "unlinked".to_string(),
+                };
+                let _ = writeln!(out, "      exit {i}: {desc}, {link}");
+            }
+        }
+        out
+    }
+
+    /// Disassemble the cache body of the fragment executing for `tag`
+    /// (current thread), for debugging and the CLI `fragments` command.
+    pub fn disassemble_fragment(&self, tag: u32) -> Option<String> {
+        use std::fmt::Write;
+        let id = self.cache().lookup(tag)?;
+        let frag = self.cache().frag(id);
+        let mut bytes = vec![0u8; frag.body_len as usize];
+        self.machine.mem.read_bytes(frag.start, &mut bytes);
+        let lines = rio_ia32::disasm::disassemble(&bytes, frag.start).ok()?;
+        let mut out = String::new();
+        for l in lines {
+            let _ = writeln!(out, "{:08x}  {:<24} {}", l.pc, l.raw, l.text);
+        }
+        Some(out)
+    }
+}

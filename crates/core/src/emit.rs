@@ -1,0 +1,396 @@
+//! Fragment emission: placing a mangled `InstrList` into the code cache.
+//!
+//! Emission scans the list for exit CTIs (direct branches targeting
+//! application addresses, and indirect-branch exit jumps targeting the
+//! lookup sentinel), materializes one exit stub per exit — including any
+//! client-supplied custom stub instructions (§3.2) — encodes the whole list
+//! into cache memory, and records the displacement words that linking will
+//! patch.
+
+use std::error::Error;
+use std::fmt;
+
+use rio_ia32::encode::encode_list;
+use rio_ia32::{create, EncodeError, Instr, InstrId, InstrList, Opcode, Target};
+use rio_sim::{Image, Machine};
+
+use crate::cache::{CodeCache, Exit, ExitKind, Fragment, FragmentId, FragmentKind, IndKind};
+use crate::config::layout;
+use crate::mangle::Note;
+
+/// Errors from fragment emission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmitError {
+    /// The list failed to encode.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::Encode(e) => write!(f, "fragment encoding failed: {e}"),
+        }
+    }
+}
+
+impl Error for EmitError {}
+
+impl From<EncodeError> for EmitError {
+    fn from(e: EncodeError) -> EmitError {
+        EmitError::Encode(e)
+    }
+}
+
+/// A client-supplied custom exit stub: instructions prepended to the stub
+/// for `exit_instr`, and whether the exit must route through the stub even
+/// when linked.
+#[derive(Debug)]
+pub struct CustomStub {
+    /// The exit CTI this stub belongs to.
+    pub exit_instr: InstrId,
+    /// Instructions to prepend to the stub.
+    pub instrs: InstrList,
+    /// Keep routing through the stub after linking.
+    pub force_stub: bool,
+}
+
+/// Classify an instruction as an exit CTI of a cache-ready list.
+fn exit_kind_of(instr: &Instr) -> Option<ExitKind> {
+    if !instr.is_cti() {
+        return None;
+    }
+    let op = instr.opcode()?;
+    if op.is_indirect_cti() {
+        // Mangling removes all indirect CTIs; none should remain.
+        debug_assert!(false, "unmangled indirect CTI reached emit");
+        return None;
+    }
+    match instr.target() {
+        Some(Target::Pc(p)) if p == layout::IB_LOOKUP => {
+            let kind = match Note::parse(instr.note) {
+                Some(Note::IbExit(k)) => k,
+                _ => IndKind::Jmp,
+            };
+            Some(ExitKind::Indirect { kind })
+        }
+        Some(Target::Pc(p)) if p < Image::CACHE_BASE => Some(ExitKind::Direct { target: p }),
+        _ => None,
+    }
+}
+
+/// Emit `il` as a fragment of the given kind for `tag`. Consumes the list.
+///
+/// `custom_stubs` carries any client-requested exit-stub additions (matched
+/// by exit instruction id).
+///
+/// # Errors
+///
+/// Returns [`EmitError`] if the list cannot be encoded.
+pub fn emit_fragment(
+    machine: &mut Machine,
+    cache: &mut CodeCache,
+    kind: FragmentKind,
+    tag: u32,
+    mut il: InstrList,
+    mut custom_stubs: Vec<CustomStub>,
+) -> Result<FragmentId, EmitError> {
+    // Pre-pass: a jecxz exit cannot encode a rel32 target; reroute it
+    // through a nearby trampoline jmp placed in the stub area.
+    let jecxz_exits: Vec<InstrId> = il
+        .ids()
+        .filter(|id| {
+            let i = il.get(*id);
+            i.opcode() == Some(Opcode::Jecxz) && exit_kind_of(i).is_some()
+        })
+        .collect();
+    let mut trampolines: Vec<(InstrId, u32)> = Vec::new();
+    for id in jecxz_exits {
+        if let Some(Target::Pc(t)) = il.get(id).target() {
+            trampolines.push((id, t));
+        }
+    }
+
+    // Identify exits in list order.
+    let exits_scan: Vec<(InstrId, ExitKind)> = il
+        .ids()
+        .filter_map(|id| exit_kind_of(il.get(id)).map(|k| (id, k)))
+        .collect();
+
+    // Reserve stub indices.
+    let frag_id = cache.next_id();
+    let stub_base = cache.reserve_stubs(frag_id, exits_scan.len());
+
+    // Stub area boundary marker.
+    let boundary = il.push_back(Instr::label());
+
+    // jecxz trampolines live at the start of the stub area, close enough
+    // for rel8.
+    for (jecxz_id, target) in trampolines {
+        let lbl = il.push_back(Instr::label());
+        il.push_back(create::jmp(Target::Pc(target)));
+        il.get_mut(jecxz_id).set_target(Target::Instr(lbl));
+    }
+
+    // Re-scan: the trampoline jmps are themselves direct exits, and the
+    // original jecxz instructions no longer are. (Stub indices were reserved
+    // before the rewrite, so reserve extras if the count grew.)
+    let exits_scan: Vec<(InstrId, ExitKind)> = il
+        .ids()
+        .filter_map(|id| exit_kind_of(il.get(id)).map(|k| (id, k)))
+        .collect();
+    if exits_scan.len() > (cache_stub_count(cache, stub_base)) {
+        let extra = exits_scan.len() - cache_stub_count(cache, stub_base);
+        cache.reserve_stubs(frag_id, extra);
+    }
+
+    // Materialize stubs and retarget exit branches.
+    struct ExitBuild {
+        instr: InstrId,
+        kind: ExitKind,
+        stub: u32,
+        stub_jmp: InstrId,
+        unlinked_label: Option<InstrId>, // stub entry label if stub code exists
+        force_stub: bool,
+    }
+    let mut builds: Vec<ExitBuild> = Vec::new();
+    for (k, (exit_id, kind)) in exits_scan.iter().enumerate() {
+        let stub_index = stub_base + k as u32;
+        let sentinel = layout::stub_sentinel(stub_index);
+        let custom_pos = custom_stubs.iter().position(|c| c.exit_instr == *exit_id);
+        if let Some(pos) = custom_pos {
+            let custom = custom_stubs.swap_remove(pos);
+            let entry = il.push_back(Instr::label());
+            il.append(custom.instrs);
+            let stub_jmp = il.push_back(create::jmp(Target::Pc(sentinel)));
+            il.get_mut(*exit_id).set_target(Target::Instr(entry));
+            builds.push(ExitBuild {
+                instr: *exit_id,
+                kind: *kind,
+                stub: stub_index,
+                stub_jmp,
+                unlinked_label: Some(entry),
+                force_stub: custom.force_stub,
+            });
+        } else {
+            il.get_mut(*exit_id).set_target(Target::Pc(sentinel));
+            builds.push(ExitBuild {
+                instr: *exit_id,
+                kind: *kind,
+                stub: stub_index,
+                stub_jmp: *exit_id,
+                unlinked_label: None,
+                force_stub: false,
+            });
+        }
+    }
+
+    // Size, allocate, encode at the final address.
+    let sized = encode_list(&il, 0)?;
+    let total_len = sized.bytes.len() as u32;
+    let start = cache.alloc(kind, total_len);
+    let encoded = encode_list(&il, start)?;
+    debug_assert_eq!(encoded.bytes.len() as u32, total_len);
+    machine.mem.write_bytes(start, &encoded.bytes);
+    machine.invalidate_code();
+
+    // Instruction lengths from consecutive offsets.
+    let offset_of = |id: InstrId| encoded.offset_of(id).expect("instr was encoded");
+    let len_of = |id: InstrId| -> u32 {
+        let off = offset_of(id);
+        let mut next_best = total_len;
+        for (oid, o) in &encoded.offsets {
+            if *o > off && *o < next_best {
+                next_best = *o;
+            }
+            let _ = oid;
+        }
+        next_best - off
+    };
+
+    let body_len = offset_of(boundary);
+    let exits: Vec<Exit> = builds
+        .iter()
+        .map(|b| {
+            let branch_off = offset_of(b.instr);
+            let branch_len = len_of(b.instr);
+            let branch_disp_addr = start + branch_off + branch_len - 4;
+            let (stub_jmp_disp_addr, unlinked_target) = if let Some(lbl) = b.unlinked_label {
+                let jmp_off = offset_of(b.stub_jmp);
+                let jmp_len = len_of(b.stub_jmp);
+                (start + jmp_off + jmp_len - 4, start + offset_of(lbl))
+            } else {
+                (branch_disp_addr, layout::stub_sentinel(b.stub))
+            };
+            Exit {
+                kind: b.kind,
+                stub: b.stub,
+                branch_disp_addr,
+                unlinked_target,
+                stub_jmp_disp_addr,
+                force_stub: b.force_stub,
+                linked_to: None,
+                branch_instr_off: branch_off,
+            }
+        })
+        .collect();
+
+    let id = cache.insert(Fragment {
+        id: frag_id,
+        tag,
+        kind,
+        start,
+        body_len,
+        total_len,
+        exits,
+        incoming: Vec::new(),
+        is_trace_head: false,
+        counter: 0,
+        deleted: false,
+    });
+    debug_assert_eq!(id, frag_id);
+    Ok(id)
+}
+
+/// How many stubs have been reserved at or after `base` (helper for the
+/// jecxz re-scan).
+fn cache_stub_count(cache: &CodeCache, base: u32) -> usize {
+    let mut n = 0usize;
+    while cache.stub(base + n as u32).is_some() {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mangle::mangle_bb;
+    use rio_ia32::{Level, Opnd, Reg};
+    use rio_sim::CpuKind;
+
+    fn machine() -> Machine {
+        Machine::new(CpuKind::Pentium4)
+    }
+
+    fn emit_block(bytes: &[u8], tag: u32) -> (Machine, CodeCache, FragmentId) {
+        let mut m = machine();
+        let mut cache = CodeCache::new();
+        let mut il = InstrList::decode_block(bytes, tag, Level::L3).unwrap();
+        let end = tag + bytes.len() as u32;
+        mangle_bb(&mut il, end);
+        let id = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            tag,
+            il,
+            Vec::new(),
+        )
+        .unwrap();
+        (m, cache, id)
+    }
+
+    #[test]
+    fn direct_jmp_block_has_one_exit() {
+        // mov eax,1 ; jmp +0x10
+        let (m, cache, id) = emit_block(&[0xB8, 1, 0, 0, 0, 0xE9, 0x10, 0, 0, 0], 0x1000);
+        let f = cache.frag(id);
+        assert_eq!(f.exits.len(), 1);
+        assert!(matches!(
+            f.exits[0].kind,
+            ExitKind::Direct { target: 0x101a }
+        ));
+        // The branch targets the stub sentinel when unlinked: decode the
+        // emitted jmp and check.
+        let disp = m.mem.read_u32(f.exits[0].branch_disp_addr) as i32;
+        let resolved = f.exits[0]
+            .branch_disp_addr
+            .wrapping_add(4)
+            .wrapping_add(disp as u32);
+        assert_eq!(resolved, layout::stub_sentinel(f.exits[0].stub));
+    }
+
+    #[test]
+    fn jcc_block_has_two_exits() {
+        // jz +5 at 0x1000
+        let (_, cache, id) = emit_block(&[0x74, 0x05], 0x1000);
+        let f = cache.frag(id);
+        assert_eq!(f.exits.len(), 2);
+        assert!(matches!(f.exits[0].kind, ExitKind::Direct { target: 0x1007 }));
+        assert!(matches!(f.exits[1].kind, ExitKind::Direct { target: 0x1002 }));
+    }
+
+    #[test]
+    fn ret_block_has_indirect_exit() {
+        let (_, cache, id) = emit_block(&[0xC3], 0x1000);
+        let f = cache.frag(id);
+        assert_eq!(f.exits.len(), 1);
+        assert!(matches!(
+            f.exits[0].kind,
+            ExitKind::Indirect { kind: IndKind::Ret }
+        ));
+    }
+
+    #[test]
+    fn body_len_excludes_stub_area() {
+        let (_, cache, id) = emit_block(&[0xB8, 1, 0, 0, 0, 0xC3], 0x1000);
+        let f = cache.frag(id);
+        assert!(f.body_len > 0);
+        assert!(f.body_len <= f.total_len);
+    }
+
+    #[test]
+    fn custom_stub_instructions_are_emitted() {
+        let mut m = machine();
+        let mut cache = CodeCache::new();
+        let mut il = InstrList::decode_block(&[0xE9, 0x10, 0, 0, 0], 0x1000, Level::L3).unwrap();
+        mangle_bb(&mut il, 0x1005);
+        let exit_id = il.last_id().unwrap();
+        let mut stub_il = InstrList::new();
+        // Custom stub: inc a counter in RIO data space.
+        stub_il.push_back(create::inc(Opnd::Mem(rio_ia32::MemRef::absolute(
+            layout::SCRATCH_SLOT,
+            rio_ia32::OpSize::S32,
+        ))));
+        let id = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x1000,
+            il,
+            vec![CustomStub {
+                exit_instr: exit_id,
+                instrs: stub_il,
+                force_stub: true,
+            }],
+        )
+        .unwrap();
+        let f = cache.frag(id);
+        assert!(f.exits[0].force_stub);
+        // The stub area contains the inc: find the 0xFF opcode of inc m32.
+        let mut bytes = vec![0u8; f.total_len as usize];
+        m.mem.read_bytes(f.start, &mut bytes);
+        assert!(bytes[f.body_len as usize..].contains(&0xFF));
+        // Unlinked target is the stub entry, not the sentinel.
+        assert!(f.exits[0].unlinked_target >= f.start);
+        assert!(f.exits[0].unlinked_target < f.start + f.total_len);
+        assert_ne!(f.exits[0].stub_jmp_disp_addr, f.exits[0].branch_disp_addr);
+    }
+
+    #[test]
+    fn emitted_block_executes_to_stub_sentinel() {
+        let (mut m, cache, id) = emit_block(&[0xB8, 7, 0, 0, 0, 0xE9, 0x10, 0, 0, 0], 0x1000);
+        let f = cache.frag(id);
+        m.set_exec_regions(vec![rio_sim::ExecRegion::new(
+            Image::CACHE_BASE,
+            Image::CACHE_END,
+        )]);
+        m.cpu.eip = f.start;
+        let exit = m.run();
+        assert_eq!(
+            exit,
+            rio_sim::CpuExit::OutOfRegion(layout::stub_sentinel(f.exits[0].stub))
+        );
+        assert_eq!(m.cpu.reg(Reg::Eax), 7);
+    }
+}

@@ -1,0 +1,671 @@
+//! The execution engine: dispatch, fragment entry, trace recording, and the
+//! runtime sentinel handlers (Figure 1 of the paper).
+//!
+//! Control alternates between the code cache (the simulated machine
+//! executing emitted fragments) and the engine (this module). The
+//! performance-critical transitions — the dotted lines of Figure 1 — are
+//! where the overhead cost model charges cycles: context switches, dispatch
+//! work, and indirect-branch hashtable lookups.
+
+use rio_ia32::InstrList;
+use std::collections::VecDeque;
+
+use rio_ia32::Reg;
+use rio_sim::cpu::CpuState;
+use rio_sim::os::{SyscallAction, THREAD_STACK_SIZE};
+use rio_sim::{Counters, CpuExit, CpuKind, ExecRegion, Image, SYSCALL_VECTOR};
+
+use crate::build::decode_bb;
+use crate::cache::{ExitKind, FragmentId, FragmentKind, IndKind};
+use crate::client::{Client, EndTraceDecision};
+use crate::config::{layout, ExecMode, Options};
+use crate::core::{Core, Recording};
+use crate::emit::emit_fragment;
+use crate::link::link_exit;
+use crate::mangle::{mangle_bb, mangle_trace_connector, Terminator};
+use crate::stats::Stats;
+
+/// Result of running a program under RIO.
+#[derive(Clone, Debug)]
+pub struct RioRunResult {
+    /// Application exit status.
+    pub exit_code: i32,
+    /// Buffered application output.
+    pub app_output: String,
+    /// Buffered client output (`dr_printf`).
+    pub client_output: String,
+    /// Machine execution counters (instructions, cycles, predictors).
+    pub counters: Counters,
+    /// Engine statistics.
+    pub stats: Stats,
+    /// Cycles spent in sideline optimization (not charged to the run).
+    pub sideline_cycles: u64,
+}
+
+/// The RIO engine coupled with a client.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rio_core::{Rio, NullClient, Options};
+/// use rio_sim::{Image, CpuKind};
+///
+/// let image = Image::from_code(vec![0xf4]); // hlt
+/// let mut rio = Rio::new(&image, Options::default(), CpuKind::Pentium4, NullClient);
+/// let result = rio.run();
+/// assert_eq!(result.exit_code, 0);
+/// ```
+pub struct Rio<C: Client> {
+    /// Engine state (exposed so harnesses can inspect cache and stats).
+    pub core: Core,
+    /// The coupled client.
+    pub client: C,
+}
+
+enum Leave {
+    /// `eip` has been set; resume execution in the cache.
+    Resume,
+    /// Dispatch to this application tag.
+    Dispatch(u32),
+}
+
+/// How a parked thread resumes.
+enum Resume {
+    /// Dispatch to an application tag.
+    Dispatch(u32),
+    /// Continue in the cache at the saved `eip`, with the saved execution
+    /// regions (preserves mid-recording restrictions across switches).
+    InCache(Vec<ExecRegion>),
+}
+
+/// A thread waiting for its turn on the (single) simulated CPU.
+struct Parked {
+    tid: usize,
+    cpu: CpuState,
+    resume: Resume,
+}
+
+/// Cycle cost of an engine-level thread switch.
+const THREAD_SWITCH_COST: u64 = 400;
+
+impl<C: Client> Rio<C> {
+    /// Create an engine over `image` with the given options, processor
+    /// model, and client.
+    pub fn new(image: &Image, options: Options, kind: CpuKind, client: C) -> Rio<C> {
+        Rio {
+            core: Core::new(image, options, kind),
+            client,
+        }
+    }
+
+    /// Run the application to completion under the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application faults (invalid code, divide error) or
+    /// control reaches an address the engine cannot classify — these
+    /// indicate workload or engine bugs, not recoverable conditions.
+    pub fn run(&mut self) -> RioRunResult {
+        self.client.init(&mut self.core);
+        self.client.thread_init(&mut self.core);
+        let exit_code = match self.core.options.mode {
+            ExecMode::Emulate => self.run_emulate(),
+            ExecMode::Cache => self.run_cache(),
+        };
+        self.client.thread_exit(&mut self.core);
+        self.client.on_exit(&mut self.core);
+        RioRunResult {
+            exit_code,
+            app_output: self.core.os.output.clone(),
+            client_output: self.core.client_output().to_string(),
+            counters: self.core.machine.counters,
+            stats: self.core.stats,
+            sideline_cycles: self.core.sideline_cycles(),
+        }
+    }
+
+    // ----- emulation mode (Table 1, row 1) --------------------------------
+
+    fn run_emulate(&mut self) -> i32 {
+        let (s, e) = self.core.app_code_range;
+        self.core
+            .machine
+            .set_exec_regions(vec![ExecRegion::new(s, e)]);
+        loop {
+            let per_instr = self.core.costs.emulate_per_instr;
+            self.core.machine.charge(per_instr);
+            self.core.stats.emulated_instrs += 1;
+            match self.core.machine.run_steps(1) {
+                CpuExit::FuelExhausted => {}
+                CpuExit::Halt => return self.core.os.exit_code.unwrap_or(0),
+                CpuExit::Syscall(SYSCALL_VECTOR) => {
+                    let (machine, os) = (&mut self.core.machine, &mut self.core.os);
+                    if !os.handle_syscall(machine) {
+                        return os.exit_code.unwrap_or(0);
+                    }
+                }
+                other => panic!("emulation failed: {other:?}"),
+            }
+        }
+    }
+
+    // ----- code-cache mode -------------------------------------------------
+
+    fn run_cache(&mut self) -> i32 {
+        let mut parked: VecDeque<Parked> = VecDeque::new();
+        let mut action = Resume::Dispatch(self.core.app_entry);
+        loop {
+            match action {
+                Resume::Dispatch(t) => {
+                    let frag = self.dispatch(t);
+                    self.enter(frag);
+                }
+                Resume::InCache(regions) => {
+                    self.core.machine.set_exec_regions(regions);
+                }
+            }
+            action = loop {
+                match self.core.machine.run() {
+                    CpuExit::Halt => match self.retire_thread(&mut parked) {
+                        Some(next) => break next,
+                        None => return self.core.os.exit_code.unwrap_or(0),
+                    },
+                    CpuExit::Syscall(SYSCALL_VECTOR) => {
+                        let next_tid = self.spawnable_tid();
+                        let act = {
+                            let (machine, os) = (&mut self.core.machine, &mut self.core.os);
+                            os.handle_syscall_threaded(machine, next_tid)
+                        };
+                        match act {
+                            SyscallAction::Continue => {}
+                            SyscallAction::ExitProgram => {
+                                return self.core.os.exit_code.unwrap_or(0);
+                            }
+                            SyscallAction::Spawn { entry } => {
+                                self.spawn_thread(&mut parked, entry);
+                            }
+                            SyscallAction::Yield => {
+                                if let Some(next) = parked.pop_front() {
+                                    let regions = self.core.machine.exec_regions().to_vec();
+                                    let prev = Parked {
+                                        tid: self.core.cur,
+                                        cpu: self.core.machine.cpu.clone(),
+                                        resume: Resume::InCache(regions),
+                                    };
+                                    parked.push_back(prev);
+                                    break self.switch_to(next);
+                                }
+                            }
+                            SyscallAction::ThreadExit => {
+                                match self.retire_thread(&mut parked) {
+                                    Some(next) => break next,
+                                    None => return self.core.os.exit_code.unwrap_or(0),
+                                }
+                            }
+                        }
+                    }
+                    CpuExit::OutOfRegion(addr) => match self.handle_leave(addr) {
+                        Leave::Resume => {}
+                        Leave::Dispatch(t) => break Resume::Dispatch(t),
+                    },
+                    other => panic!(
+                        "execution failed: {other:?} at eip={:#x}",
+                        self.core.machine.cpu.eip
+                    ),
+                }
+            };
+        }
+    }
+
+    /// The tid a spawn would get (0 = limit reached, spawn fails).
+    fn spawnable_tid(&self) -> u32 {
+        let next = self.core.threads.len() as u32;
+        let cap = crate::cache::MAX_THREADS.min(rio_sim::os::MAX_THREADS);
+        if next < cap {
+            next
+        } else {
+            0
+        }
+    }
+
+    /// Create a new thread: thread-private cache, fresh CPU with its own
+    /// stack, parked until its first turn. Fires `thread_init`.
+    fn spawn_thread(&mut self, parked: &mut VecDeque<Parked>, entry: u32) {
+        let tid = self.core.threads.len();
+        self.core.threads.push(crate::core::ThreadCore::new(tid as u32));
+        let prev = self.core.cur;
+        self.core.cur = tid;
+        self.client.thread_init(&mut self.core);
+        self.core.cur = prev;
+        let mut cpu = CpuState::new();
+        cpu.set_reg(Reg::Esp, Image::STACK_TOP - tid as u32 * THREAD_STACK_SIZE - 16);
+        parked.push_back(Parked {
+            tid,
+            cpu,
+            resume: Resume::Dispatch(entry),
+        });
+        self.core.stats.threads_spawned += 1;
+    }
+
+    /// The current thread is done: fire `thread_exit` (for spawned threads;
+    /// the main thread's hook fires in `run`) and switch to the next
+    /// runnable thread if any.
+    fn retire_thread(&mut self, parked: &mut VecDeque<Parked>) -> Option<Resume> {
+        if self.core.cur != 0 {
+            self.client.thread_exit(&mut self.core);
+        }
+        let next = parked.pop_front()?;
+        Some(self.switch_to(next))
+    }
+
+    /// Install a parked thread on the CPU.
+    fn switch_to(&mut self, next: Parked) -> Resume {
+        self.core.machine.charge(THREAD_SWITCH_COST);
+        self.core.cur = next.tid;
+        self.core.machine.cpu = next.cpu;
+        next.resume
+    }
+
+    /// Point the machine at a fragment and set the execution region: the
+    /// whole cache normally, or just this fragment while recording a trace
+    /// (so every crossing is observed).
+    fn enter(&mut self, frag: FragmentId) {
+        let f = self.core.threads[self.core.cur].cache.frag(frag);
+        let region = if self.core.threads[self.core.cur].recording.is_some() {
+            let (s, e) = f.range();
+            ExecRegion::new(s, e)
+        } else {
+            let (s, e) = self.core.threads[self.core.cur].cache.region();
+            ExecRegion::new(s, e)
+        };
+        self.core.machine.cpu.eip = f.start;
+        self.core.machine.set_exec_regions(vec![region]);
+    }
+
+    /// Find or build the fragment to execute for `tag`; handles trace-head
+    /// counting and trace-recording kickoff.
+    fn dispatch(&mut self, tag: u32) -> FragmentId {
+        let dispatch_cost = self.core.costs.dispatch;
+        self.core.machine.charge(dispatch_cost);
+        self.core.stats.dispatches += 1;
+        for deleted_tag in self.core.take_safe_deletions() {
+            self.client.fragment_deleted(&mut self.core, deleted_tag);
+        }
+        for flushed_tag in self.core.process_cache_pressure() {
+            self.client.fragment_deleted(&mut self.core, flushed_tag);
+        }
+        for (s_tag, arg) in self.core.take_sideline_requests() {
+            self.client.sideline_optimize(&mut self.core, s_tag, arg);
+        }
+
+        // Traces shadow blocks — but not while recording (recording steps
+        // through basic blocks).
+        if self.core.threads[self.core.cur].recording.is_none() {
+            if let Some(tr) = self.core.threads[self.core.cur].cache.lookup_trace(tag) {
+                return tr;
+            }
+        }
+
+        if let Some(bb) = self.core.threads[self.core.cur].cache.lookup_bb(tag) {
+            self.count_trace_head(bb, tag);
+            return bb;
+        }
+
+        let bb = self.build_bb(tag);
+        self.count_trace_head(bb, tag);
+        bb
+    }
+
+    fn count_trace_head(&mut self, bb: FragmentId, tag: u32) {
+        if self.core.threads[self.core.cur].recording.is_some() || !self.core.options.enable_traces {
+            return;
+        }
+        if !self.core.threads[self.core.cur].cache.frag(bb).is_trace_head {
+            return;
+        }
+        let increment_cost = self.core.costs.counter_increment;
+        self.core.machine.charge(increment_cost);
+        let counter = {
+            let f = self.core.threads[self.core.cur].cache.frag_mut(bb);
+            f.counter += 1;
+            f.counter
+        };
+        if counter >= self.core.options.trace_threshold
+            && self.core.threads[self.core.cur].cache.lookup_trace(tag).is_none()
+        {
+            self.core.threads[self.core.cur].recording = Some(Recording {
+                trace_tag: tag,
+                tags: vec![tag],
+            });
+        }
+    }
+
+    /// Build, mangle, and emit the basic block at `tag`.
+    fn build_bb(&mut self, tag: u32) -> FragmentId {
+        let full = self.client.wants_full_decode();
+        let bb = decode_bb(
+            &self.core.machine.mem,
+            tag,
+            full,
+            self.core.options.max_bb_instrs,
+        )
+        .unwrap_or_else(|e| panic!("invalid application code at {tag:#x}: {e}"));
+        let build_cost = self.core.costs.bb_build_base
+            + self.core.costs.bb_build_per_instr * bb.num_instrs as u64;
+        self.core.machine.charge(build_cost);
+        self.core.stats.bbs_built += 1;
+        self.core.stats.bb_instrs += bb.num_instrs as u64;
+
+        let mut il = bb.il;
+        self.client.basic_block(&mut self.core, tag, &mut il);
+        mangle_bb(&mut il, bb.end_pc);
+        let custom = std::mem::take(&mut self.core.pending_custom_stubs);
+        let id = emit_fragment(
+            &mut self.core.machine,
+            &mut self.core.threads[self.core.cur].cache,
+            FragmentKind::BasicBlock,
+            tag,
+            il,
+            custom,
+        )
+        .unwrap_or_else(|e| panic!("failed to emit block {tag:#x}: {e}"));
+        if self.core.marked_heads.contains(&tag) {
+            self.core.threads[self.core.cur].cache.frag_mut(id).is_trace_head = true;
+        }
+        id
+    }
+
+    /// Classify and handle control leaving the permitted execution region.
+    fn handle_leave(&mut self, addr: u32) -> Leave {
+        // Clean call into client code.
+        if let Some(token) = layout::clean_call_index(addr) {
+            return self.handle_clean_call(token);
+        }
+        // Exit stub sentinel.
+        if let Some(stub) = layout::stub_index(addr) {
+            return self.handle_stub(stub);
+        }
+        // During recording, a linked exit jumps straight to another
+        // fragment's entry, which lies outside the restricted region.
+        if self.core.threads[self.core.cur].recording.is_some() {
+            if let Some(frag) = self.core.threads[self.core.cur].cache.by_entry(addr) {
+                let (tag, kind) = {
+                    let f = self.core.threads[self.core.cur].cache.frag(frag);
+                    (f.tag, f.kind)
+                };
+                // A linked crossing is always a direct transfer.
+                self.core.threads[self.core.cur].last_exit_was_return = false;
+                if kind == FragmentKind::Trace {
+                    // Recording must step through basic blocks: entering a
+                    // trace would execute many blocks with no observable
+                    // crossings. Re-dispatch so the block copy runs instead.
+                    return self.record_crossing_dispatch(tag);
+                }
+                return self.record_crossing(tag, addr);
+            }
+        }
+        panic!(
+            "control reached unclassifiable address {addr:#x} (eip {:#x})",
+            self.core.machine.cpu.eip
+        );
+    }
+
+    fn handle_clean_call(&mut self, token: u32) -> Leave {
+        let arg = self
+            .core
+            .clean_call_arg(token)
+            .unwrap_or_else(|| panic!("unknown clean-call token {token}"));
+        // The call pushed the cache resume address; pop it to restore the
+        // application stack (transparency) and remember where to resume.
+        let esp = self.core.machine.cpu.reg(Reg::Esp);
+        let resume = self.core.machine.mem.read_u32(esp);
+        self.core.machine.cpu.set_reg(Reg::Esp, esp.wrapping_add(4));
+        let cost = self.core.costs.clean_call;
+        self.core.machine.charge(cost);
+        self.core.stats.clean_calls += 1;
+        self.client.clean_call(&mut self.core, arg);
+        self.core.machine.cpu.eip = resume;
+        Leave::Resume
+    }
+
+    fn handle_stub(&mut self, stub: u32) -> Leave {
+        let rec = self.core.threads[self.core.cur]
+            .cache
+            .stub(stub)
+            .unwrap_or_else(|| panic!("unknown stub {stub}"));
+        let exit_kind = self.core.threads[self.core.cur].cache.frag(rec.frag).exits[rec.exit_idx].kind;
+        match exit_kind {
+            ExitKind::Direct { target } => {
+                self.core.threads[self.core.cur].last_exit_was_return = false;
+                let cs = self.core.costs.context_switch;
+                self.core.machine.charge(cs);
+                self.core.stats.context_switches += 1;
+                // Backward direct branches identify loop heads (Dynamo's
+                // trace-head heuristic).
+                let src_tag = self.core.threads[self.core.cur].cache.frag(rec.frag).tag;
+                if self.core.options.enable_traces && target <= src_tag {
+                    self.core.mark_trace_head(target);
+                }
+                if self.core.threads[self.core.cur].recording.is_some() {
+                    return self.record_crossing_dispatch(target);
+                }
+                self.maybe_link(rec.frag, rec.exit_idx, target);
+                Leave::Dispatch(target)
+            }
+            ExitKind::Indirect { kind } => self.handle_indirect(kind),
+        }
+    }
+
+    /// Link a direct exit lazily, on first traversal.
+    fn maybe_link(&mut self, src: FragmentId, exit_idx: usize, target: u32) {
+        if !self.core.options.link_direct {
+            return;
+        }
+        if self.core.threads[self.core.cur].cache.frag(src).deleted
+            || self.core.threads[self.core.cur].cache.frag(src).exits[exit_idx].linked_to.is_some()
+        {
+            return;
+        }
+        let Some(dst) = self.core.threads[self.core.cur].cache.lookup(target) else {
+            return;
+        };
+        let dstf = self.core.threads[self.core.cur].cache.frag(dst);
+        // Trace heads must be reached through dispatch so their counters
+        // tick (blocks only; traces are freely linkable).
+        if dstf.kind == FragmentKind::BasicBlock && dstf.is_trace_head {
+            return;
+        }
+        if dstf.deleted {
+            return;
+        }
+        link_exit(&mut self.core.machine, &mut self.core.threads[self.core.cur].cache, src, exit_idx, dst);
+        let patch = self.core.costs.link_patch;
+        self.core.machine.charge(patch);
+        self.core.stats.links += 1;
+    }
+
+    /// A translated indirect branch arrived at the lookup with its target in
+    /// `%ecx`.
+    fn handle_indirect(&mut self, kind: IndKind) -> Leave {
+        let target = self.core.machine.cpu.reg(Reg::Ecx);
+        let saved = self.core.machine.mem.read_u32(layout::ECX_SLOT);
+        self.core.machine.cpu.set_reg(Reg::Ecx, saved);
+        self.core.threads[self.core.cur].last_exit_was_return = kind == IndKind::Ret;
+        self.core.stats.ib_lookups += 1;
+
+        // The shared lookup routine ends in one indirect jump: a single BTB
+        // slot shared by every translated indirect branch — the source of
+        // the overhead discussed in §5.
+        let m = &mut self.core.machine;
+        let penalty = m
+            .cost
+            .indirect_branch(layout::IB_LOOKUP, target, false, &mut m.counters);
+        m.counters.cycles += penalty;
+
+        if self.core.threads[self.core.cur].recording.is_some() {
+            let hash = self.core.costs.hash_lookup;
+            self.core.machine.charge(hash);
+            return self.record_crossing_dispatch(target);
+        }
+
+        if self.core.options.link_indirect {
+            let hash = self.core.costs.hash_lookup;
+            self.core.machine.charge(hash);
+            // In-cache lookup: traces, then non-trace-head blocks.
+            if let Some(id) = self.core.threads[self.core.cur].cache.lookup(target) {
+                let f = self.core.threads[self.core.cur].cache.frag(id);
+                let countable_head = f.kind == FragmentKind::BasicBlock && f.is_trace_head;
+                if !countable_head && !f.deleted {
+                    self.core.stats.ib_lookup_hits += 1;
+                    self.core.machine.cpu.eip = f.start;
+                    return Leave::Resume;
+                }
+            }
+        }
+        let cs = self.core.costs.context_switch;
+        self.core.machine.charge(cs);
+        self.core.stats.context_switches += 1;
+        Leave::Dispatch(target)
+    }
+
+    /// While recording: control is about to move to `tag`; consult the
+    /// client and default rules, then either finish the trace or extend it.
+    fn record_crossing_dispatch(&mut self, tag: u32) -> Leave {
+        self.record_step(tag);
+        Leave::Dispatch(tag)
+    }
+
+    /// While recording: a linked jump crossed into the fragment whose entry
+    /// is `addr` (tag `tag`). Continue in the cache either way.
+    fn record_crossing(&mut self, tag: u32, addr: u32) -> Leave {
+        self.record_step(tag);
+        self.core.machine.cpu.eip = addr;
+        // Region: restricted to the entered fragment if still recording,
+        // else the whole cache.
+        if self.core.threads[self.core.cur].recording.is_some() {
+            if let Some(f) = self.core.threads[self.core.cur].cache.by_entry(addr) {
+                let (s, e) = self.core.threads[self.core.cur].cache.frag(f).range();
+                self.core
+                    .machine
+                    .set_exec_regions(vec![ExecRegion::new(s, e)]);
+            }
+        } else {
+            let (s, e) = self.core.threads[self.core.cur].cache.region();
+            self.core
+                .machine
+                .set_exec_regions(vec![ExecRegion::new(s, e)]);
+        }
+        Leave::Resume
+    }
+
+    /// Record one crossing; returns `true` if recording continues.
+    fn record_step(&mut self, next_tag: u32) -> bool {
+        let trace_tag = match &self.core.threads[self.core.cur].recording {
+            Some(r) => r.trace_tag,
+            None => return false,
+        };
+        let decision = self.client.end_trace(&mut self.core, trace_tag, next_tag);
+        let end = match decision {
+            EndTraceDecision::End => true,
+            EndTraceDecision::Continue => false,
+            EndTraceDecision::Default => self.default_end_trace(next_tag),
+        };
+        if end {
+            self.finish_recording();
+            false
+        } else {
+            self.core.threads[self.core.cur]
+                .recording
+                .as_mut()
+                .expect("recording active")
+                .tags
+                .push(next_tag);
+            true
+        }
+    }
+
+    /// Dynamo's default trace termination test: stop at a backward branch or
+    /// upon reaching an existing trace or trace head, or at the size cap.
+    fn default_end_trace(&self, next_tag: u32) -> bool {
+        let rec = self.core.threads[self.core.cur].recording.as_ref().expect("recording active");
+        rec.tags.len() >= self.core.options.max_trace_bbs
+            || self.core.threads[self.core.cur].cache.lookup_trace(next_tag).is_some()
+            || self.core.is_trace_head(next_tag)
+            || next_tag <= *rec.tags.last().expect("nonempty recording")
+    }
+
+    /// Stitch the recorded blocks into a trace, run the client trace hook,
+    /// and emit it into the trace cache.
+    fn finish_recording(&mut self) {
+        let rec = self.core.threads[self.core.cur].recording.take().expect("recording active");
+        let mut trace_il = InstrList::new();
+        let mut total_instrs = 0usize;
+        let n = rec.tags.len();
+        for (i, tag) in rec.tags.iter().enumerate() {
+            let bb = decode_bb(
+                &self.core.machine.mem,
+                *tag,
+                true,
+                self.core.options.max_bb_instrs,
+            )
+            .expect("recorded block decodes");
+            total_instrs += bb.num_instrs;
+            let mut il = bb.il;
+            if i + 1 < n {
+                mangle_trace_connector(
+                    &mut il,
+                    rec.tags[i + 1],
+                    bb.end_pc,
+                    self.core.options.inline_ib_target,
+                );
+                trace_il.append(il);
+                // Without inlining, an indirect terminator exits the trace
+                // unconditionally; the remaining blocks are unreachable.
+                if !self.core.options.inline_ib_target
+                    && matches!(
+                        bb.terminator,
+                        Terminator::Ret { .. } | Terminator::JmpInd | Terminator::CallInd
+                    )
+                {
+                    break;
+                }
+            } else {
+                mangle_bb(&mut il, bb.end_pc);
+                trace_il.append(il);
+            }
+        }
+        let build = self.core.costs.trace_build_base
+            + self.core.costs.trace_build_per_instr * total_instrs as u64;
+        self.core.machine.charge(build);
+        self.core.stats.traces_built += 1;
+        self.core.stats.trace_instrs += total_instrs as u64;
+
+        self.client.trace(&mut self.core, rec.trace_tag, &mut trace_il);
+
+        let custom = std::mem::take(&mut self.core.pending_custom_stubs);
+        let id = emit_fragment(
+            &mut self.core.machine,
+            &mut self.core.threads[self.core.cur].cache,
+            FragmentKind::Trace,
+            rec.trace_tag,
+            trace_il,
+            custom,
+        )
+        .unwrap_or_else(|e| panic!("failed to emit trace {:#x}: {e}", rec.trace_tag));
+
+        // Exits of traces are trace heads (Dynamo's rule).
+        let exit_targets: Vec<u32> = self.core.threads[self.core.cur]
+            .cache
+            .frag(id)
+            .exits
+            .iter()
+            .filter_map(|e| match e.kind {
+                ExitKind::Direct { target } => Some(target),
+                ExitKind::Indirect { .. } => None,
+            })
+            .collect();
+        for t in exit_targets {
+            self.core.mark_trace_head(t);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Linking and unlinking fragments.
+//!
+//! "If a target basic block is already present in the code cache, and is
+//! targeted via a direct branch, DynamoRIO links the two blocks together
+//! with a direct jump. This avoids the cost of a subsequent context switch"
+//! (paper §2). Linking patches the rel32 displacement of the exit branch in
+//! cache memory; unlinking patches it back to the exit's stub.
+
+use rio_sim::Machine;
+
+use crate::cache::{CodeCache, ExitKind, FragmentId};
+
+/// Patch the rel32 displacement word at `disp_addr` so the branch lands on
+/// `target`.
+fn patch_disp(machine: &mut Machine, disp_addr: u32, target: u32) {
+    let disp = target.wrapping_sub(disp_addr.wrapping_add(4));
+    machine.mem.write_u32(disp_addr, disp);
+    machine.invalidate_code();
+}
+
+/// Link `src`'s exit `exit_idx` to fragment `dst`.
+///
+/// Respects the exit's `force_stub` flag: a forced exit keeps routing
+/// through its stub (whose final jump is patched instead), so client stub
+/// code still runs (paper §3.2).
+///
+/// # Panics
+///
+/// Panics if the exit is indirect or already linked.
+pub fn link_exit(
+    machine: &mut Machine,
+    cache: &mut CodeCache,
+    src: FragmentId,
+    exit_idx: usize,
+    dst: FragmentId,
+) {
+    let (disp_addr, target_start) = {
+        let dst_frag = cache.frag(dst);
+        let target_start = dst_frag.start;
+        let exit = &cache.frag(src).exits[exit_idx];
+        assert!(
+            matches!(exit.kind, ExitKind::Direct { .. }),
+            "cannot link an indirect exit"
+        );
+        assert!(exit.linked_to.is_none(), "exit already linked");
+        let disp_addr = if exit.force_stub {
+            exit.stub_jmp_disp_addr
+        } else {
+            exit.branch_disp_addr
+        };
+        (disp_addr, target_start)
+    };
+    patch_disp(machine, disp_addr, target_start);
+    cache.frag_mut(src).exits[exit_idx].linked_to = Some(dst);
+    cache.frag_mut(dst).incoming.push((src, exit_idx));
+}
+
+/// Unlink `src`'s exit `exit_idx`, restoring its branch to the stub.
+pub fn unlink_exit(machine: &mut Machine, cache: &mut CodeCache, src: FragmentId, exit_idx: usize) {
+    let (disp_addr, unlinked_target, dst) = {
+        let exit = &cache.frag(src).exits[exit_idx];
+        let Some(dst) = exit.linked_to else { return };
+        let disp_addr = if exit.force_stub {
+            exit.stub_jmp_disp_addr
+        } else {
+            exit.branch_disp_addr
+        };
+        (disp_addr, exit.unlinked_target, dst)
+    };
+    patch_disp(machine, disp_addr, unlinked_target);
+    cache.frag_mut(src).exits[exit_idx].linked_to = None;
+    cache
+        .frag_mut(dst)
+        .incoming
+        .retain(|(f, e)| !(*f == src && *e == exit_idx));
+}
+
+/// Unlink every exit that currently targets `dst` (e.g. when `dst` becomes a
+/// trace head and must henceforth be reached through dispatch).
+pub fn unlink_incoming(machine: &mut Machine, cache: &mut CodeCache, dst: FragmentId) {
+    let incoming: Vec<(FragmentId, usize)> = cache.frag(dst).incoming.clone();
+    for (src, exit_idx) in incoming {
+        unlink_exit(machine, cache, src, exit_idx);
+    }
+}
+
+/// Redirect every exit linked to `old` so it links to `new` instead — the
+/// heart of safe fragment replacement: "all links targeting and originating
+/// from the old fragment are immediately modified to use the new fragment"
+/// (paper §3.4).
+pub fn redirect_incoming(
+    machine: &mut Machine,
+    cache: &mut CodeCache,
+    old: FragmentId,
+    new: FragmentId,
+) {
+    let incoming: Vec<(FragmentId, usize)> = cache.frag(old).incoming.clone();
+    for (src, exit_idx) in incoming {
+        unlink_exit(machine, cache, src, exit_idx);
+        link_exit(machine, cache, src, exit_idx, new);
+    }
+}
+
+/// Unlink all of `frag`'s own outgoing links (used when deleting it).
+pub fn unlink_outgoing(machine: &mut Machine, cache: &mut CodeCache, frag: FragmentId) {
+    let n = cache.frag(frag).exits.len();
+    for i in 0..n {
+        unlink_exit(machine, cache, frag, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::FragmentKind;
+    use crate::config::layout;
+    use crate::emit::emit_fragment;
+    use crate::mangle::mangle_bb;
+    use rio_ia32::{InstrList, Level};
+    use rio_sim::{CpuExit, CpuKind, ExecRegion, Image, Machine};
+
+    /// Build two blocks: A `jmp B_tag`, B `mov eax, 9; ret`-ish halt.
+    fn two_blocks() -> (Machine, CodeCache, FragmentId, FragmentId) {
+        let mut m = Machine::new(CpuKind::Pentium4);
+        let mut cache = CodeCache::new();
+        // A at 0x1000: jmp 0x2000
+        let mut a = InstrList::decode_block(&[0xE9, 0xFB, 0x0F, 0x00, 0x00], 0x1000, Level::L3)
+            .unwrap();
+        mangle_bb(&mut a, 0x1005);
+        let fa = emit_fragment(&mut m, &mut cache, FragmentKind::BasicBlock, 0x1000, a, vec![])
+            .unwrap();
+        // B at 0x2000: mov eax, 9; hlt
+        let mut b =
+            InstrList::decode_block(&[0xB8, 9, 0, 0, 0, 0xF4], 0x2000, Level::L3).unwrap();
+        mangle_bb(&mut b, 0x2006);
+        let fb = emit_fragment(&mut m, &mut cache, FragmentKind::BasicBlock, 0x2000, b, vec![])
+            .unwrap();
+        m.set_exec_regions(vec![ExecRegion::new(Image::CACHE_BASE, Image::CACHE_END)]);
+        (m, cache, fa, fb)
+    }
+
+    #[test]
+    fn linked_exit_jumps_directly_into_target() {
+        let (mut m, mut cache, fa, fb) = two_blocks();
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        m.cpu.eip = cache.frag(fa).start;
+        let exit = m.run();
+        // Control flows A -> B without leaving the cache, B halts.
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.cpu.reg(rio_ia32::Reg::Eax), 9);
+        assert_eq!(cache.frag(fb).incoming, vec![(fa, 0)]);
+    }
+
+    #[test]
+    fn unlinked_exit_returns_to_stub() {
+        let (mut m, mut cache, fa, fb) = two_blocks();
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        unlink_exit(&mut m, &mut cache, fa, 0);
+        m.cpu.eip = cache.frag(fa).start;
+        let exit = m.run();
+        let stub = cache.frag(fa).exits[0].stub;
+        assert_eq!(exit, CpuExit::OutOfRegion(layout::stub_sentinel(stub)));
+        assert!(cache.frag(fb).incoming.is_empty());
+    }
+
+    #[test]
+    fn unlink_incoming_detaches_all_sources() {
+        let (mut m, mut cache, fa, fb) = two_blocks();
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        unlink_incoming(&mut m, &mut cache, fb);
+        assert!(cache.frag(fa).exits[0].linked_to.is_none());
+        assert!(cache.frag(fb).incoming.is_empty());
+    }
+
+    #[test]
+    fn redirect_incoming_moves_links() {
+        let (mut m, mut cache, fa, fb) = two_blocks();
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        // Emit a replacement copy of B.
+        let mut b2 =
+            InstrList::decode_block(&[0xB8, 11, 0, 0, 0, 0xF4], 0x2000, Level::L3).unwrap();
+        mangle_bb(&mut b2, 0x2006);
+        let fb2 = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x2000,
+            b2,
+            vec![],
+        )
+        .unwrap();
+        redirect_incoming(&mut m, &mut cache, fb, fb2);
+        m.cpu.eip = cache.frag(fa).start;
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(rio_ia32::Reg::Eax), 11); // new fragment ran
+        assert_eq!(cache.frag(fb2).incoming, vec![(fa, 0)]);
+        assert!(cache.frag(fb).incoming.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exit already linked")]
+    fn double_link_is_rejected() {
+        let (mut m, mut cache, fa, fb) = two_blocks();
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+    }
+}

@@ -1,0 +1,74 @@
+//! Engine statistics.
+
+use std::fmt;
+
+/// Counts of engine events over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Basic blocks built.
+    pub bbs_built: u64,
+    /// Application instructions decoded while building basic blocks.
+    pub bb_instrs: u64,
+    /// Traces built.
+    pub traces_built: u64,
+    /// Application instructions stitched into traces.
+    pub trace_instrs: u64,
+    /// Dispatcher invocations.
+    pub dispatches: u64,
+    /// Context switches from the code cache back to the engine.
+    pub context_switches: u64,
+    /// Indirect-branch lookups performed (in-cache or in dispatch).
+    pub ib_lookups: u64,
+    /// Indirect-branch lookups that hit and stayed in the cache.
+    pub ib_lookup_hits: u64,
+    /// Exits linked.
+    pub links: u64,
+    /// Exits unlinked.
+    pub unlinks: u64,
+    /// Fragments replaced via the adaptive interface.
+    pub replacements: u64,
+    /// Fragments deleted.
+    pub deletions: u64,
+    /// Clean calls into client code.
+    pub clean_calls: u64,
+    /// Instructions executed under pure emulation.
+    pub emulated_instrs: u64,
+    /// Trace heads marked.
+    pub trace_heads: u64,
+    /// Sub-cache flushes triggered by the capacity limit.
+    pub cache_flushes: u64,
+    /// Application threads spawned (beyond the initial thread).
+    pub threads_spawned: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "blocks: {} ({} instrs)  traces: {} ({} instrs)  trace heads: {}",
+            self.bbs_built, self.bb_instrs, self.traces_built, self.trace_instrs, self.trace_heads
+        )?;
+        writeln!(
+            f,
+            "dispatches: {}  context switches: {}  links: {} (+{} unlinks)",
+            self.dispatches, self.context_switches, self.links, self.unlinks
+        )?;
+        write!(
+            f,
+            "ib lookups: {} ({} in-cache hits)  clean calls: {}  replacements: {}  deletions: {}  flushes: {}",
+            self.ib_lookups, self.ib_lookup_hits, self.clean_calls, self.replacements,
+            self.deletions, self.cache_flushes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Stats::default();
+        assert!(!s.to_string().is_empty());
+    }
+}

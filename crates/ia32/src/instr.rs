@@ -1,0 +1,501 @@
+//! The [`Instr`] data structure with adaptive levels of detail.
+//!
+//! "A single instruction, or a group of bundled un-decoded instructions, is
+//! represented in the list by an `Instr` data structure" (paper §3.1). The
+//! five levels:
+//!
+//! * **Level 0** — raw bytes of a *series* of instructions; only the final
+//!   instruction boundary is recorded.
+//! * **Level 1** — one `Instr` per machine instruction, raw bytes only.
+//! * **Level 2** — opcode and eflags effect decoded, raw bytes retained.
+//! * **Level 3** — fully decoded operands, raw bytes still valid (fast
+//!   re-encode by copying).
+//! * **Level 4** — fully decoded, modified or newly created; raw bytes
+//!   invalid, must be encoded from operands.
+//!
+//! Mutating operations implicitly raise an instruction to Level 4
+//! ("modifying an operand will cause the raw bytes to become invalid").
+
+use std::fmt;
+use std::mem;
+
+use crate::eflags::EflagsEffect;
+use crate::ilist::InstrId;
+use crate::opcode::Opcode;
+use crate::opnd::Opnd;
+
+/// The five levels of instruction detail (paper §3.1, Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Bundle of un-decoded instructions; final boundary recorded.
+    L0,
+    /// Un-decoded raw bits for a single instruction.
+    L1,
+    /// Opcode and eflags effect known.
+    L2,
+    /// Fully decoded, raw bits valid.
+    L3,
+    /// Fully decoded, raw bits invalid (requires full encode).
+    L4,
+}
+
+/// A control-transfer target: an application address or another instruction
+/// (label) in the same [`InstrList`](crate::InstrList).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Original application code address.
+    Pc(u32),
+    /// An instruction in the same list, resolved at encode time.
+    Instr(InstrId),
+}
+
+impl Target {
+    /// Convert to the operand form stored in `srcs[0]` of a direct CTI.
+    pub fn to_opnd(self) -> Opnd {
+        match self {
+            Target::Pc(pc) => Opnd::Pc(pc),
+            Target::Instr(id) => Opnd::Instr(id),
+        }
+    }
+
+    /// Extract a target from an operand, if it is one.
+    pub fn from_opnd(op: &Opnd) -> Option<Target> {
+        match op {
+            Opnd::Pc(pc) => Some(Target::Pc(*pc)),
+            Opnd::Instr(id) => Some(Target::Instr(*id)),
+            _ => None,
+        }
+    }
+}
+
+/// A single instruction (or Level 0 bundle) in the adaptive representation.
+///
+/// # Examples
+///
+/// Creating and inspecting a synthesized (Level 4) instruction:
+///
+/// ```
+/// use rio_ia32::{create, Opcode, Opnd, Reg, Level};
+///
+/// let add = create::add(Opnd::reg(Reg::Eax), Opnd::imm8(1));
+/// assert_eq!(add.level(), Level::L4);
+/// assert_eq!(add.opcode(), Some(Opcode::Add));
+/// assert!(!add.raw_valid());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instr {
+    level: Level,
+    /// Original application pc (0 for synthesized instructions).
+    app_pc: u32,
+    /// Raw machine bytes; meaningful when `raw_valid`.
+    raw: Vec<u8>,
+    raw_valid: bool,
+    /// For Level 0 bundles: byte offset of the final instruction.
+    bundle_last_off: u32,
+    /// For Level 0 bundles: number of bundled instructions.
+    bundle_count: u32,
+    opcode: Option<Opcode>,
+    eflags: EflagsEffect,
+    srcs: Vec<Opnd>,
+    dsts: Vec<Opnd>,
+    prefixes: u16,
+    /// Free-form client annotation field (paper §3.2: "a field in the Instr
+    /// data structure that can be used by the client for annotations").
+    pub note: u64,
+}
+
+impl Instr {
+    /// Create a Level 0 bundle over `bytes`, which hold `count` instructions,
+    /// the last one beginning at `last_off`.
+    pub fn bundle(bytes: Vec<u8>, app_pc: u32, last_off: u32, count: u32) -> Instr {
+        Instr {
+            level: Level::L0,
+            app_pc,
+            raw: bytes,
+            raw_valid: true,
+            bundle_last_off: last_off,
+            bundle_count: count,
+            opcode: None,
+            eflags: EflagsEffect::NONE,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            prefixes: 0,
+            note: 0,
+        }
+    }
+
+    /// Create a Level 1 instruction holding only raw bytes.
+    pub fn raw(bytes: Vec<u8>, app_pc: u32) -> Instr {
+        Instr {
+            level: Level::L1,
+            app_pc,
+            raw: bytes,
+            raw_valid: true,
+            bundle_last_off: 0,
+            bundle_count: 1,
+            opcode: None,
+            eflags: EflagsEffect::NONE,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            prefixes: 0,
+            note: 0,
+        }
+    }
+
+    /// Create a synthesized (Level 4) instruction from opcode and operands.
+    ///
+    /// This is the workhorse behind the [`create`](crate::create)
+    /// constructors; the eflags effect is derived from the opcode.
+    pub fn new(opcode: Opcode, srcs: Vec<Opnd>, dsts: Vec<Opnd>) -> Instr {
+        Instr {
+            level: Level::L4,
+            app_pc: 0,
+            raw: Vec::new(),
+            raw_valid: false,
+            bundle_last_off: 0,
+            bundle_count: 1,
+            opcode: Some(opcode),
+            eflags: opcode.eflags_effect(),
+            srcs,
+            dsts,
+            prefixes: 0,
+            note: 0,
+        }
+    }
+
+    /// Create a label pseudo-instruction (a zero-length branch target).
+    pub fn label() -> Instr {
+        Instr::new(Opcode::Label, Vec::new(), Vec::new())
+    }
+
+    /// Current level of detail.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Original application address, or 0 for synthesized instructions.
+    pub fn app_pc(&self) -> u32 {
+        self.app_pc
+    }
+
+    /// Set the recorded application address (used when synthesized code
+    /// stands in for an application instruction, e.g. strength reduction).
+    pub fn set_app_pc(&mut self, pc: u32) {
+        self.app_pc = pc;
+    }
+
+    /// Whether the stored raw bytes are a valid encoding of the instruction.
+    pub fn raw_valid(&self) -> bool {
+        self.raw_valid
+    }
+
+    /// The raw bytes, if valid.
+    pub fn raw_bytes(&self) -> Option<&[u8]> {
+        if self.raw_valid {
+            Some(&self.raw)
+        } else {
+            None
+        }
+    }
+
+    /// For Level 0 bundles, the byte offset of the final bundled instruction.
+    pub fn bundle_last_offset(&self) -> u32 {
+        self.bundle_last_off
+    }
+
+    /// For Level 0 bundles, the number of bundled instructions.
+    pub fn bundle_count(&self) -> u32 {
+        self.bundle_count
+    }
+
+    /// The opcode, if decoded to Level 2 or above (paper:
+    /// `instr_get_opcode`).
+    pub fn opcode(&self) -> Option<Opcode> {
+        self.opcode
+    }
+
+    /// The eflags effect, if decoded to Level 2 or above (paper:
+    /// `instr_get_eflags`).
+    pub fn eflags(&self) -> EflagsEffect {
+        self.eflags
+    }
+
+    /// Encoded prefix bits (paper: `instr_get_prefixes`).
+    pub fn prefixes(&self) -> u16 {
+        self.prefixes
+    }
+
+    /// Set prefix bits (paper: `instr_set_prefixes`).
+    pub fn set_prefixes(&mut self, prefixes: u16) {
+        self.prefixes = prefixes;
+    }
+
+    /// Source operands (valid at Level 3+). Implicit operands are
+    /// materialized, so e.g. `pop %eax` lists `%esp` and `(%esp)` as sources.
+    pub fn srcs(&self) -> &[Opnd] {
+        &self.srcs
+    }
+
+    /// Destination operands (valid at Level 3+).
+    pub fn dsts(&self) -> &[Opnd] {
+        &self.dsts
+    }
+
+    /// Source operand `i` (paper: `instr_get_src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn src(&self, i: usize) -> &Opnd {
+        &self.srcs[i]
+    }
+
+    /// Destination operand `i` (paper: `instr_get_dst`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn dst(&self, i: usize) -> &Opnd {
+        &self.dsts[i]
+    }
+
+    /// Replace source operand `i`, invalidating raw bytes (level → 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_src(&mut self, i: usize, op: Opnd) {
+        self.srcs[i] = op;
+        self.invalidate_raw();
+    }
+
+    /// Replace destination operand `i`, invalidating raw bytes (level → 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_dst(&mut self, i: usize, op: Opnd) {
+        self.dsts[i] = op;
+        self.invalidate_raw();
+    }
+
+    /// The branch target of a direct CTI (stored as `srcs[0]`).
+    pub fn target(&self) -> Option<Target> {
+        let op = self.opcode?;
+        if op.is_cti() && !op.is_indirect_cti() && op != Opcode::Ret {
+            self.srcs.first().and_then(Target::from_opnd)
+        } else {
+            None
+        }
+    }
+
+    /// Set the branch target of a direct CTI, invalidating raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a direct CTI decoded to Level 3+.
+    pub fn set_target(&mut self, target: Target) {
+        let op = self
+            .opcode
+            .expect("set_target requires a decoded instruction");
+        assert!(
+            op.is_cti() && !op.is_indirect_cti() && op != Opcode::Ret,
+            "set_target on non-direct-CTI {op}"
+        );
+        if self.srcs.is_empty() {
+            self.srcs.push(target.to_opnd());
+        } else {
+            self.srcs[0] = target.to_opnd();
+        }
+        self.invalidate_raw();
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_cti(&self) -> bool {
+        self.opcode.is_some_and(Opcode::is_cti)
+    }
+
+    /// Whether this is a CTI that exits the enclosing fragment, i.e. its
+    /// target is an application pc rather than a label in the same list
+    /// (paper: `instr_is_exit_cti`). Indirect CTIs always exit.
+    pub fn is_exit_cti(&self) -> bool {
+        match self.opcode {
+            Some(op) if op.is_indirect_cti() => true,
+            Some(op) if op.is_cti() => {
+                matches!(self.srcs.first(), Some(Opnd::Pc(_)))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether this is a label pseudo-instruction.
+    pub fn is_label(&self) -> bool {
+        self.opcode == Some(Opcode::Label)
+    }
+
+    /// Explicitly mark raw bytes invalid, raising the level to 4.
+    ///
+    /// Implied by every mutating operation; exposed for clients that mutate
+    /// state the representation cannot observe.
+    pub fn invalidate_raw(&mut self) {
+        self.raw_valid = false;
+        self.raw = Vec::new();
+        if self.level >= Level::L3 {
+            self.level = Level::L4;
+        }
+    }
+
+    /// Install decoded Level 2 state (opcode + eflags). Used by the decoder.
+    pub(crate) fn install_l2(&mut self, opcode: Opcode) {
+        self.opcode = Some(opcode);
+        self.eflags = opcode.eflags_effect();
+        if self.level < Level::L2 {
+            self.level = Level::L2;
+        }
+    }
+
+    /// Install decoded Level 3 state. Used by the decoder.
+    pub(crate) fn install_l3(&mut self, opcode: Opcode, srcs: Vec<Opnd>, dsts: Vec<Opnd>) {
+        self.opcode = Some(opcode);
+        self.eflags = opcode.eflags_effect();
+        self.srcs = srcs;
+        self.dsts = dsts;
+        if self.level < Level::L3 {
+            self.level = Level::L3;
+        }
+    }
+
+    /// Byte length of this instruction when encoded, if cheaply known (raw
+    /// bytes valid). Labels have length 0.
+    pub fn known_len(&self) -> Option<u32> {
+        if self.is_label() {
+            Some(0)
+        } else if self.raw_valid {
+            Some(self.raw.len() as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Approximate heap + inline memory footprint in bytes, for the Table 2
+    /// reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        mem::size_of::<Instr>()
+            + self.raw.capacity()
+            + self.srcs.capacity() * mem::size_of::<Opnd>()
+            + self.dsts.capacity() * mem::size_of::<Opnd>()
+    }
+
+    /// Rewrite intra-list targets using `map` (used when an `InstrList` is
+    /// appended into another and ids are remapped).
+    pub(crate) fn remap_instr_targets(&mut self, map: &dyn Fn(InstrId) -> InstrId) {
+        for op in self.srcs.iter_mut().chain(self.dsts.iter_mut()) {
+            if let Opnd::Instr(id) = op {
+                *id = map(*id);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::disasm::fmt_instr(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opnd::OpSize;
+    use crate::reg::Reg;
+
+    #[test]
+    fn synthesized_instr_is_level4() {
+        let i = Instr::new(
+            Opcode::Add,
+            vec![Opnd::imm8(1), Opnd::reg(Reg::Eax)],
+            vec![Opnd::reg(Reg::Eax)],
+        );
+        assert_eq!(i.level(), Level::L4);
+        assert!(!i.raw_valid());
+        assert_eq!(i.opcode(), Some(Opcode::Add));
+    }
+
+    #[test]
+    fn raw_instr_is_level1() {
+        let i = Instr::raw(vec![0x90], 0x400000);
+        assert_eq!(i.level(), Level::L1);
+        assert!(i.raw_valid());
+        assert_eq!(i.known_len(), Some(1));
+        assert_eq!(i.opcode(), None);
+    }
+
+    #[test]
+    fn bundle_records_final_boundary_only() {
+        let i = Instr::bundle(vec![0x90, 0x90, 0x8d, 0x34, 0x01], 0x1000, 2, 3);
+        assert_eq!(i.level(), Level::L0);
+        assert_eq!(i.bundle_last_offset(), 2);
+        assert_eq!(i.bundle_count(), 3);
+    }
+
+    #[test]
+    fn mutation_invalidates_raw_and_raises_level() {
+        let mut i = Instr::raw(vec![0x40], 0x1000); // inc %eax
+        i.install_l3(Opcode::Inc, vec![Opnd::reg(Reg::Eax)], vec![Opnd::reg(Reg::Eax)]);
+        assert_eq!(i.level(), Level::L3);
+        assert!(i.raw_valid());
+        i.set_dst(0, Opnd::reg(Reg::Ebx));
+        assert_eq!(i.level(), Level::L4);
+        assert!(!i.raw_valid());
+        assert_eq!(i.known_len(), None);
+    }
+
+    #[test]
+    fn target_accessors_work_on_direct_ctis() {
+        let mut j = Instr::new(Opcode::Jmp, vec![Opnd::Pc(0x5000)], vec![]);
+        assert_eq!(j.target(), Some(Target::Pc(0x5000)));
+        assert!(j.is_exit_cti());
+        j.set_target(Target::Instr(InstrId::from_raw(3)));
+        assert_eq!(j.target(), Some(Target::Instr(InstrId::from_raw(3))));
+        assert!(!j.is_exit_cti()); // now intra-list
+    }
+
+    #[test]
+    fn indirect_ctis_always_exit() {
+        let r = Instr::new(
+            Opcode::Ret,
+            vec![
+                Opnd::reg(Reg::Esp),
+                Opnd::mem(crate::MemRef::base_disp(Reg::Esp, 0, OpSize::S32)),
+            ],
+            vec![Opnd::reg(Reg::Esp)],
+        );
+        assert!(r.is_exit_cti());
+        assert_eq!(r.target(), None);
+    }
+
+    #[test]
+    fn labels_have_zero_length() {
+        let l = Instr::label();
+        assert!(l.is_label());
+        assert_eq!(l.known_len(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_target on non-direct-CTI")]
+    fn set_target_rejects_non_cti() {
+        let mut i = Instr::new(Opcode::Nop, vec![], vec![]);
+        i.set_target(Target::Pc(0));
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_operands() {
+        let small = Instr::raw(vec![0x90], 0);
+        let big = Instr::new(
+            Opcode::Add,
+            vec![Opnd::imm32(5), Opnd::reg(Reg::Eax)],
+            vec![Opnd::reg(Reg::Eax)],
+        );
+        assert!(big.memory_bytes() >= small.memory_bytes());
+    }
+}

@@ -1,0 +1,313 @@
+//! Instruction operands: registers, immediates, memory references, and code
+//! addresses.
+//!
+//! IA-32 instructions "may contain between zero and eight sources and
+//! destinations" (paper §3.1); each is one [`Opnd`].
+
+use std::fmt;
+
+use crate::ilist::InstrId;
+use crate::reg::Reg;
+
+/// Operand size in bytes for the supported subset (8-, 16-, 32-bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpSize {
+    /// 1 byte.
+    S8,
+    /// 2 bytes.
+    S16,
+    /// 4 bytes.
+    S32,
+}
+
+impl OpSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            OpSize::S8 => 1,
+            OpSize::S16 => 2,
+            OpSize::S32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for OpSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bytes())
+    }
+}
+
+/// A memory reference of the form `disp(base, index, scale)`.
+///
+/// Any of base and index may be absent; `%esp` cannot be an index (IA-32 SIB
+/// restriction, enforced at encode time). `size` is the access width.
+///
+/// # Examples
+///
+/// ```
+/// use rio_ia32::{MemRef, Reg, OpSize};
+/// let m = MemRef::base_disp(Reg::Esi, 0xc, OpSize::S32);
+/// assert_eq!(m.to_string(), "0xc(%esi)");
+/// let m = MemRef::base_index(Reg::Ecx, Reg::Eax, 1, 0, OpSize::S32);
+/// assert_eq!(m.to_string(), "(%ecx,%eax,1)");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index: 1, 2, 4, or 8.
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+    /// Access width.
+    pub size: OpSize,
+}
+
+impl MemRef {
+    /// `disp(base)` reference.
+    pub fn base_disp(base: Reg, disp: i32, size: OpSize) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+            size,
+        }
+    }
+
+    /// `disp(base, index, scale)` reference.
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32, size: OpSize) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            size,
+        }
+    }
+
+    /// Absolute-address reference `*disp`.
+    pub fn absolute(addr: u32, size: OpSize) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i32,
+            size,
+        }
+    }
+
+    /// `disp(,index,scale)` reference with no base.
+    pub fn index_disp(index: Reg, scale: u8, disp: i32, size: OpSize) -> MemRef {
+        MemRef {
+            base: None,
+            index: Some(index),
+            scale,
+            disp,
+            size,
+        }
+    }
+
+    /// Registers this reference reads to compute its address.
+    pub fn address_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+
+    /// Whether `reg` (or an overlapping register) participates in address
+    /// computation.
+    pub fn uses_reg(&self, reg: Reg) -> bool {
+        self.address_regs().any(|r| r.overlaps(reg))
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            if self.disp < 0 {
+                write!(f, "-0x{:x}", -(self.disp as i64))?;
+            } else {
+                write!(f, "0x{:x}", self.disp)?;
+            }
+        }
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(b) = self.base {
+                write!(f, "{b}")?;
+            }
+            if let Some(i) = self.index {
+                write!(f, ",{i},{}", self.scale)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// One instruction operand.
+///
+/// Branch targets use [`Opnd::Pc`] when they name an application address, or
+/// [`Opnd::Instr`] when they name another instruction in the same
+/// [`InstrList`](crate::InstrList) (used while building code, e.g. for the
+/// inlined indirect-branch checks in traces; resolved at encode time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opnd {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate with encoded width.
+    Imm(i32, OpSize),
+    /// A memory reference.
+    Mem(MemRef),
+    /// A code address (branch target or pushed return address).
+    Pc(u32),
+    /// A branch target naming an instruction in the same list (a label).
+    Instr(InstrId),
+}
+
+impl Opnd {
+    /// Register constructor.
+    pub fn reg(r: Reg) -> Opnd {
+        Opnd::Reg(r)
+    }
+
+    /// 8-bit immediate constructor (paper: `OPND_CREATE_INT8`).
+    pub fn imm8(v: i8) -> Opnd {
+        Opnd::Imm(v as i32, OpSize::S8)
+    }
+
+    /// 16-bit immediate constructor.
+    pub fn imm16(v: i16) -> Opnd {
+        Opnd::Imm(v as i32, OpSize::S16)
+    }
+
+    /// 32-bit immediate constructor (paper: `OPND_CREATE_INT32`).
+    pub fn imm32(v: i32) -> Opnd {
+        Opnd::Imm(v, OpSize::S32)
+    }
+
+    /// Memory constructor.
+    pub fn mem(m: MemRef) -> Opnd {
+        Opnd::Mem(m)
+    }
+
+    /// The operand's data size.
+    ///
+    /// `Pc` and `Instr` targets are code addresses, reported as 32-bit.
+    pub fn size(&self) -> OpSize {
+        match self {
+            Opnd::Reg(r) => r.size(),
+            Opnd::Imm(_, s) => *s,
+            Opnd::Mem(m) => m.size,
+            Opnd::Pc(_) | Opnd::Instr(_) => OpSize::S32,
+        }
+    }
+
+    /// The register if this is a register operand.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Opnd::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The memory reference if this is a memory operand.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Opnd::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The immediate value if this is an immediate operand.
+    pub fn as_imm(&self) -> Option<i32> {
+        match self {
+            Opnd::Imm(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand *reads* the given register when used as a source,
+    /// including address-computation registers of memory operands.
+    pub fn uses_reg(&self, reg: Reg) -> bool {
+        match self {
+            Opnd::Reg(r) => r.overlaps(reg),
+            Opnd::Mem(m) => m.uses_reg(reg),
+            _ => false,
+        }
+    }
+}
+
+impl From<Reg> for Opnd {
+    fn from(r: Reg) -> Opnd {
+        Opnd::Reg(r)
+    }
+}
+
+impl From<MemRef> for Opnd {
+    fn from(m: MemRef) -> Opnd {
+        Opnd::Mem(m)
+    }
+}
+
+impl fmt::Display for Opnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opnd::Reg(r) => write!(f, "{r}"),
+            Opnd::Imm(v, _) => {
+                if *v < 0 {
+                    write!(f, "$-0x{:x}", -(*v as i64))
+                } else {
+                    write!(f, "$0x{v:x}")
+                }
+            }
+            Opnd::Mem(m) => write!(f, "{m}"),
+            Opnd::Pc(pc) => write!(f, "$0x{pc:08x}"),
+            Opnd::Instr(id) => write!(f, "@{id:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_display_matches_att_syntax() {
+        assert_eq!(
+            MemRef::base_disp(Reg::Esi, 0x1c, OpSize::S32).to_string(),
+            "0x1c(%esi)"
+        );
+        assert_eq!(
+            MemRef::base_disp(Reg::Ebp, -8, OpSize::S32).to_string(),
+            "-0x8(%ebp)"
+        );
+        assert_eq!(
+            MemRef::base_index(Reg::Ecx, Reg::Eax, 4, 0x10, OpSize::S32).to_string(),
+            "0x10(%ecx,%eax,4)"
+        );
+        assert_eq!(MemRef::absolute(0x8000, OpSize::S32).to_string(), "0x8000");
+    }
+
+    #[test]
+    fn opnd_sizes() {
+        assert_eq!(Opnd::imm8(1).size(), OpSize::S8);
+        assert_eq!(Opnd::reg(Reg::Cl).size(), OpSize::S8);
+        assert_eq!(Opnd::Pc(0x400000).size(), OpSize::S32);
+    }
+
+    #[test]
+    fn uses_reg_sees_through_memory_addressing() {
+        let m = Opnd::mem(MemRef::base_index(Reg::Ecx, Reg::Eax, 1, 0, OpSize::S32));
+        assert!(m.uses_reg(Reg::Eax));
+        assert!(m.uses_reg(Reg::Ecx));
+        assert!(m.uses_reg(Reg::Al)); // overlapping sub-register
+        assert!(!m.uses_reg(Reg::Ebx));
+    }
+
+    #[test]
+    fn immediate_display_is_signed_hex() {
+        assert_eq!(Opnd::imm8(1).to_string(), "$0x1");
+        assert_eq!(Opnd::imm32(-16).to_string(), "$-0x10");
+    }
+}

@@ -1,0 +1,244 @@
+//! IA-32 register definitions.
+//!
+//! The subset supports the eight 32-bit general-purpose registers, their
+//! 16-bit halves, and the eight 8-bit byte registers, matching the operand
+//! sizes used by the supported instruction encodings.
+
+use std::fmt;
+
+use crate::opnd::OpSize;
+
+/// An IA-32 general-purpose register (32-, 16-, or 8-bit view).
+///
+/// The discriminant order of each size class matches the hardware register
+/// numbering used in ModRM/SIB encodings (`EAX`=0 .. `EDI`=7).
+///
+/// # Examples
+///
+/// ```
+/// use rio_ia32::Reg;
+/// assert_eq!(Reg::Esp.number(), 4);
+/// assert_eq!(Reg::Ch.number(), 5); // high byte registers encode as 4..7
+/// assert_eq!(Reg::Eax.to_string(), "%eax");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    // 32-bit
+    Eax,
+    Ecx,
+    Edx,
+    Ebx,
+    Esp,
+    Ebp,
+    Esi,
+    Edi,
+    // 16-bit
+    Ax,
+    Cx,
+    Dx,
+    Bx,
+    Sp,
+    Bp,
+    Si,
+    Di,
+    // 8-bit low
+    Al,
+    Cl,
+    Dl,
+    Bl,
+    // 8-bit high
+    Ah,
+    Ch,
+    Dh,
+    Bh,
+}
+
+impl Reg {
+    /// All 32-bit registers in hardware numbering order.
+    pub const GPR32: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Hardware register number used in ModRM/SIB fields (0..=7).
+    ///
+    /// For 8-bit registers the numbering follows IA-32: `AL`..`BL` are 0..3
+    /// and `AH`..`BH` are 4..7.
+    pub fn number(self) -> u8 {
+        match self {
+            Reg::Eax | Reg::Ax | Reg::Al => 0,
+            Reg::Ecx | Reg::Cx | Reg::Cl => 1,
+            Reg::Edx | Reg::Dx | Reg::Dl => 2,
+            Reg::Ebx | Reg::Bx | Reg::Bl => 3,
+            Reg::Esp | Reg::Sp | Reg::Ah => 4,
+            Reg::Ebp | Reg::Bp | Reg::Ch => 5,
+            Reg::Esi | Reg::Si | Reg::Dh => 6,
+            Reg::Edi | Reg::Di | Reg::Bh => 7,
+        }
+    }
+
+    /// The operand size of this register view.
+    pub fn size(self) -> OpSize {
+        match self {
+            Reg::Eax
+            | Reg::Ecx
+            | Reg::Edx
+            | Reg::Ebx
+            | Reg::Esp
+            | Reg::Ebp
+            | Reg::Esi
+            | Reg::Edi => OpSize::S32,
+            Reg::Ax | Reg::Cx | Reg::Dx | Reg::Bx | Reg::Sp | Reg::Bp | Reg::Si | Reg::Di => {
+                OpSize::S16
+            }
+            _ => OpSize::S8,
+        }
+    }
+
+    /// The 32-bit register backing this register view.
+    ///
+    /// Used by liveness-style analyses: a write to `%al` or `%ah` affects the
+    /// contents of `%eax`.
+    pub fn parent32(self) -> Reg {
+        match self {
+            Reg::Eax | Reg::Ax | Reg::Al | Reg::Ah => Reg::Eax,
+            Reg::Ecx | Reg::Cx | Reg::Cl | Reg::Ch => Reg::Ecx,
+            Reg::Edx | Reg::Dx | Reg::Dl | Reg::Dh => Reg::Edx,
+            Reg::Ebx | Reg::Bx | Reg::Bl | Reg::Bh => Reg::Ebx,
+            Reg::Esp | Reg::Sp => Reg::Esp,
+            Reg::Ebp | Reg::Bp => Reg::Ebp,
+            Reg::Esi | Reg::Si => Reg::Esi,
+            Reg::Edi | Reg::Di => Reg::Edi,
+        }
+    }
+
+    /// Whether the two registers overlap in the machine register file.
+    pub fn overlaps(self, other: Reg) -> bool {
+        self.parent32() == other.parent32()
+    }
+
+    /// Look up the register with hardware number `n` at the given size.
+    ///
+    /// 8-bit numbering maps 0..3 to the low-byte registers and 4..7 to the
+    /// high-byte registers, as in ModRM encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn from_number(n: u8, size: OpSize) -> Reg {
+        let table32 = Reg::GPR32;
+        let table16 = [
+            Reg::Ax,
+            Reg::Cx,
+            Reg::Dx,
+            Reg::Bx,
+            Reg::Sp,
+            Reg::Bp,
+            Reg::Si,
+            Reg::Di,
+        ];
+        let table8 = [
+            Reg::Al,
+            Reg::Cl,
+            Reg::Dl,
+            Reg::Bl,
+            Reg::Ah,
+            Reg::Ch,
+            Reg::Dh,
+            Reg::Bh,
+        ];
+        assert!(n < 8, "register number out of range: {n}");
+        match size {
+            OpSize::S32 => table32[n as usize],
+            OpSize::S16 => table16[n as usize],
+            OpSize::S8 => table8[n as usize],
+        }
+    }
+
+    /// AT&T-style name without the `%` sigil.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ax => "ax",
+            Reg::Cx => "cx",
+            Reg::Dx => "dx",
+            Reg::Bx => "bx",
+            Reg::Sp => "sp",
+            Reg::Bp => "bp",
+            Reg::Si => "si",
+            Reg::Di => "di",
+            Reg::Al => "al",
+            Reg::Cl => "cl",
+            Reg::Dl => "dl",
+            Reg::Bl => "bl",
+            Reg::Ah => "ah",
+            Reg::Ch => "ch",
+            Reg::Dh => "dh",
+            Reg::Bh => "bh",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips_for_all_sizes() {
+        for n in 0..8u8 {
+            for size in [OpSize::S8, OpSize::S16, OpSize::S32] {
+                let r = Reg::from_number(n, size);
+                assert_eq!(r.number(), n);
+                assert_eq!(r.size(), size);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_and_overlap() {
+        assert_eq!(Reg::Al.parent32(), Reg::Eax);
+        assert_eq!(Reg::Ah.parent32(), Reg::Eax);
+        assert_eq!(Reg::Di.parent32(), Reg::Edi);
+        assert!(Reg::Al.overlaps(Reg::Ah));
+        assert!(Reg::Eax.overlaps(Reg::Ax));
+        assert!(!Reg::Eax.overlaps(Reg::Ebx));
+    }
+
+    #[test]
+    fn high_byte_numbers_match_modrm_encoding() {
+        assert_eq!(Reg::Ah.number(), 4);
+        assert_eq!(Reg::Bh.number(), 7);
+        assert_eq!(Reg::from_number(4, OpSize::S8), Reg::Ah);
+    }
+
+    #[test]
+    fn display_uses_att_sigil() {
+        assert_eq!(Reg::Esi.to_string(), "%esi");
+        assert_eq!(Reg::Cl.to_string(), "%cl");
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn from_number_rejects_out_of_range() {
+        let _ = Reg::from_number(8, OpSize::S32);
+    }
+}

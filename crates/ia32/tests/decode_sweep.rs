@@ -1,0 +1,84 @@
+//! Exhaustive decoder sweeps: the three decoding strategies must agree on
+//! validity and length for every possible opcode byte (and two-byte opcode),
+//! across representative ModRM shapes.
+
+use rio_ia32::{decode_instr, decode_opcode, decode_sizeof};
+
+/// ModRM bytes covering every mod/rm shape incl. SIB and disp forms.
+const MODRMS: [u8; 9] = [
+    0xC0, // mod=3 reg-reg
+    0x00, // [eax]
+    0x05, // disp32 absolute
+    0x04, // SIB
+    0x45, // disp8(ebp)
+    0x85, // disp32(ebp)
+    0x44, // SIB + disp8
+    0x24, // SIB esp base
+    0xE1, // mod=3, digit 4 (shl-group shapes)
+];
+
+fn check(bytes: &[u8]) {
+    let size = decode_sizeof(bytes);
+    let op = decode_opcode(bytes);
+    let full = decode_instr(bytes, 0x40_0000);
+    match (&size, &op, &full) {
+        (Ok(n), Ok((_, m)), Ok((_, k))) => {
+            assert_eq!(n, m, "sizeof vs opcode length on {bytes:02x?}");
+            assert_eq!(n, k, "sizeof vs full length on {bytes:02x?}");
+        }
+        (Err(_), Err(_), Err(_)) => {}
+        _ => panic!(
+            "strategies disagree on {bytes:02x?}: sizeof={size:?} opcode={:?} full={}",
+            op.as_ref().map(|(o, n)| (*o, *n)),
+            full.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn all_one_byte_opcodes_agree_across_strategies() {
+    for b0 in 0u8..=255 {
+        if b0 == 0x0F {
+            continue; // two-byte escape, covered below
+        }
+        for modrm in MODRMS {
+            // Pad generously: enough bytes for any SIB/disp/imm shape.
+            let bytes = [b0, modrm, 0x24, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77];
+            check(&bytes);
+        }
+    }
+}
+
+#[test]
+fn all_two_byte_opcodes_agree_across_strategies() {
+    for b1 in 0u8..=255 {
+        for modrm in MODRMS {
+            let bytes = [0x0F, b1, modrm, 0x24, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66];
+            check(&bytes);
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_an_error_not_a_panic() {
+    // Take several real instructions and feed every proper prefix.
+    let samples: [&[u8]; 6] = [
+        &[0x8b, 0x84, 0x8d, 0x11, 0x22, 0x33, 0x44], // mov with SIB+disp32
+        &[0x81, 0xc0, 0x78, 0x56, 0x34, 0x12],       // add imm32
+        &[0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00],       // jnl rel32
+        &[0x0f, 0xba, 0xe0, 0x07],                   // bt imm8
+        &[0xc7, 0x45, 0xfc, 1, 0, 0, 0],             // mov imm -> mem
+        &[0xf7, 0xc3, 5, 0, 0, 0],                   // test imm32
+    ];
+    for s in samples {
+        assert!(decode_sizeof(s).is_ok());
+        for cut in 0..s.len() {
+            let prefix = &s[..cut];
+            assert!(
+                decode_sizeof(prefix).is_err(),
+                "prefix of length {cut} of {s:02x?} must not decode"
+            );
+            assert!(decode_instr(prefix, 0).is_err());
+        }
+    }
+}

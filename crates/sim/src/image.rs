@@ -1,0 +1,98 @@
+//! Program images and the simulated address-space layout.
+//!
+//! An [`Image`] is the "unmodified native binary" the framework operates on:
+//! code bytes at a fixed base, optional initialized data segments, and an
+//! entry point. The layout constants partition the 32-bit address space
+//! between the application and the RIO runtime, mirroring how DynamoRIO
+//! shares one address space with the application.
+
+use crate::mem::Memory;
+
+/// A loadable program: code, initialized data, entry point.
+///
+/// # Examples
+///
+/// ```
+/// use rio_sim::Image;
+/// let img = Image::from_code(vec![0xf4]); // hlt
+/// assert_eq!(img.entry, Image::CODE_BASE);
+/// assert_eq!(img.code_range(), (Image::CODE_BASE, Image::CODE_BASE + 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Image {
+    /// Machine code placed at [`Image::CODE_BASE`].
+    pub code: Vec<u8>,
+    /// Initialized data segments as `(address, bytes)` pairs.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Entry point address.
+    pub entry: u32,
+}
+
+impl Image {
+    /// Base address of application code (like a typical Linux executable).
+    pub const CODE_BASE: u32 = 0x0040_0000;
+    /// Base address of application static data / heap.
+    pub const DATA_BASE: u32 = 0x0800_0000;
+    /// Initial stack pointer (stack grows down).
+    pub const STACK_TOP: u32 = 0x7000_0000;
+    /// Base of the RIO-owned code cache region.
+    pub const CACHE_BASE: u32 = 0xC000_0000;
+    /// End of the RIO-owned code cache region (exclusive).
+    pub const CACHE_END: u32 = 0xD000_0000;
+    /// RIO-owned data (spill slots, hashtables) region base.
+    pub const RIO_DATA_BASE: u32 = 0xE000_0000;
+    /// Base of RIO runtime-routine sentinel addresses. Control arriving at
+    /// any address at or above this value is a transfer into the RIO runtime
+    /// (dispatch, indirect-branch lookup, ...), never real code.
+    pub const RIO_RUNTIME_BASE: u32 = 0xF000_0000;
+
+    /// An image whose code is `code` with entry at its start and no data.
+    pub fn from_code(code: Vec<u8>) -> Image {
+        Image {
+            code,
+            data: Vec::new(),
+            entry: Image::CODE_BASE,
+        }
+    }
+
+    /// The `[start, end)` address range occupied by the code.
+    pub fn code_range(&self) -> (u32, u32) {
+        (Image::CODE_BASE, Image::CODE_BASE + self.code.len() as u32)
+    }
+
+    /// Load the image into memory (code + data segments).
+    pub fn load(&self, mem: &mut Memory) {
+        mem.write_bytes(Image::CODE_BASE, &self.code);
+        for (addr, bytes) in &self.data {
+            mem.write_bytes(*addr, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_places_code_and_data() {
+        let img = Image {
+            code: vec![1, 2, 3],
+            data: vec![(Image::DATA_BASE, vec![9, 8])],
+            entry: Image::CODE_BASE,
+        };
+        let mut mem = Memory::new();
+        img.load(&mut mem);
+        assert_eq!(mem.read_u8(Image::CODE_BASE + 2), 3);
+        assert_eq!(mem.read_u8(Image::DATA_BASE + 1), 8);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn layout_regions_are_disjoint_and_ordered() {
+        assert!(Image::CODE_BASE < Image::DATA_BASE);
+        assert!(Image::DATA_BASE < Image::STACK_TOP);
+        assert!(Image::STACK_TOP < Image::CACHE_BASE);
+        assert!(Image::CACHE_END <= Image::RIO_DATA_BASE);
+        assert!(Image::RIO_DATA_BASE < Image::RIO_RUNTIME_BASE);
+    }
+}

@@ -1,0 +1,963 @@
+//! The simulated machine: memory + CPU + cost model + interpreter.
+//!
+//! The interpreter executes machine code *from memory bytes* — the same
+//! bytes the RIO encoder emits into the code cache — so the entire
+//! decode/translate/encode/link path of the dynamic translator is exercised
+//! for real. A direct-mapped decoded-instruction cache makes interpretation
+//! fast; the RIO core invalidates it whenever it patches code (linking,
+//! fragment replacement), modelling self-modifying code correctly.
+
+use rio_ia32::{decode_instr, Instr, MemRef, Opcode, OpSize, Opnd, Reg};
+
+use crate::cpu::{
+    alu_add, alu_logic, alu_sar, alu_shl, alu_shr, alu_sub, CpuError, CpuExit, CpuState,
+};
+use crate::image::Image;
+use crate::mem::Memory;
+use crate::perf::{Counters, CostModel, CpuKind};
+
+/// A half-open `[start, end)` address range the CPU may execute from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecRegion {
+    /// Inclusive start.
+    pub start: u32,
+    /// Exclusive end.
+    pub end: u32,
+}
+
+impl ExecRegion {
+    /// Construct a region.
+    pub fn new(start: u32, end: u32) -> ExecRegion {
+        ExecRegion { start, end }
+    }
+
+    /// Whether `pc` falls inside the region.
+    pub fn contains(&self, pc: u32) -> bool {
+        pc >= self.start && pc < self.end
+    }
+}
+
+/// Compact executable form of one decoded instruction.
+#[derive(Clone, Copy, Debug)]
+struct Lowered {
+    op: Opcode,
+    len: u32,
+    ndst: u8,
+    srcs: [LOpnd; 4],
+    dsts: [LOpnd; 4],
+}
+
+#[derive(Clone, Copy, Debug)]
+enum LOpnd {
+    None,
+    Reg(Reg),
+    Imm(i32, OpSize),
+    Mem(MemRef),
+    Pc(u32),
+}
+
+impl LOpnd {
+    fn from_opnd(op: &Opnd) -> LOpnd {
+        match op {
+            Opnd::Reg(r) => LOpnd::Reg(*r),
+            Opnd::Imm(v, s) => LOpnd::Imm(*v, *s),
+            Opnd::Mem(m) => LOpnd::Mem(*m),
+            Opnd::Pc(pc) => LOpnd::Pc(*pc),
+            Opnd::Instr(_) => LOpnd::None, // labels never reach execution
+        }
+    }
+
+    fn size(&self) -> OpSize {
+        match self {
+            LOpnd::Reg(r) => r.size(),
+            LOpnd::Imm(_, s) => *s,
+            LOpnd::Mem(m) => m.size,
+            _ => OpSize::S32,
+        }
+    }
+}
+
+fn lower(instr: &Instr, len: u32) -> Lowered {
+    let mut l = Lowered {
+        op: instr.opcode().expect("lower requires decoded instr"),
+        len,
+        ndst: instr.dsts().len().min(4) as u8,
+        srcs: [LOpnd::None; 4],
+        dsts: [LOpnd::None; 4],
+    };
+    for (i, s) in instr.srcs().iter().take(4).enumerate() {
+        l.srcs[i] = LOpnd::from_opnd(s);
+    }
+    for (i, d) in instr.dsts().iter().take(4).enumerate() {
+        l.dsts[i] = LOpnd::from_opnd(d);
+    }
+    l
+}
+
+const DCACHE_BITS: usize = 15;
+const DCACHE_SIZE: usize = 1 << DCACHE_BITS;
+
+struct DecodeCacheEntry {
+    pc: u32,
+    version: u64,
+    lowered: Lowered,
+}
+
+/// Direct-mapped software decode cache keyed by pc.
+struct DecodeCache {
+    entries: Vec<Option<DecodeCacheEntry>>,
+    version: u64,
+}
+
+impl DecodeCache {
+    fn new() -> DecodeCache {
+        DecodeCache {
+            entries: (0..DCACHE_SIZE).map(|_| None).collect(),
+            version: 0,
+        }
+    }
+
+    fn index(pc: u32) -> usize {
+        ((pc ^ (pc >> DCACHE_BITS as u32)) as usize) & (DCACHE_SIZE - 1)
+    }
+
+    fn get(&self, pc: u32) -> Option<&Lowered> {
+        match &self.entries[Self::index(pc)] {
+            Some(e) if e.pc == pc && e.version == self.version => Some(&e.lowered),
+            _ => None,
+        }
+    }
+
+    fn put(&mut self, pc: u32, lowered: Lowered) {
+        self.entries[Self::index(pc)] = Some(DecodeCacheEntry {
+            pc,
+            version: self.version,
+            lowered,
+        });
+    }
+
+    fn invalidate_all(&mut self) {
+        self.version += 1;
+    }
+}
+
+/// The simulated machine.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: CpuState,
+    /// Memory.
+    pub mem: Memory,
+    /// The cycle cost model and predictor state.
+    pub cost: CostModel,
+    /// Accumulated execution statistics.
+    pub counters: Counters,
+    dcache: DecodeCache,
+    regions: Vec<ExecRegion>,
+    step_loads: u64,
+    step_stores: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Machine(eip={:#x}, {})", self.cpu.eip, self.counters)
+    }
+}
+
+impl Machine {
+    /// Create a machine of the given processor family with empty memory.
+    pub fn new(kind: CpuKind) -> Machine {
+        Machine {
+            cpu: CpuState::new(),
+            mem: Memory::new(),
+            cost: CostModel::new(kind),
+            counters: Counters::default(),
+            dcache: DecodeCache::new(),
+            regions: Vec::new(),
+            step_loads: 0,
+            step_stores: 0,
+        }
+    }
+
+    /// Load an image: code + data into memory, `eip` at the entry point,
+    /// `esp` at the stack top, and the code range as the sole exec region.
+    pub fn load_image(&mut self, img: &Image) {
+        img.load(&mut self.mem);
+        self.cpu.eip = img.entry;
+        self.cpu.set_reg(Reg::Esp, Image::STACK_TOP - 16);
+        let (s, e) = img.code_range();
+        self.regions = vec![ExecRegion::new(s, e)];
+    }
+
+    /// Replace the set of regions the CPU may execute from. Control leaving
+    /// them stops [`Machine::run`] with [`CpuExit::OutOfRegion`].
+    pub fn set_exec_regions(&mut self, regions: Vec<ExecRegion>) {
+        self.regions = regions;
+    }
+
+    /// Current execution regions.
+    pub fn exec_regions(&self) -> &[ExecRegion] {
+        &self.regions
+    }
+
+    /// Charge runtime-overhead cycles (dispatch, hashtable lookup,
+    /// optimization time) to the cycle counter.
+    pub fn charge(&mut self, cycles: u64) {
+        self.counters.cycles += cycles;
+        self.counters.charged_overhead += cycles;
+    }
+
+    /// Invalidate the decoded-instruction cache. Must be called after any
+    /// write to memory that may hold code (fragment emission, link patching).
+    pub fn invalidate_code(&mut self) {
+        self.dcache.invalidate_all();
+    }
+
+    fn in_region(&self, pc: u32) -> bool {
+        self.regions.iter().any(|r| r.contains(pc))
+    }
+
+    /// Run until an exit condition with a default fuel of 2^44 steps.
+    pub fn run(&mut self) -> CpuExit {
+        self.run_steps(1 << 44)
+    }
+
+    /// Run at most `max_steps` instructions.
+    pub fn run_steps(&mut self, max_steps: u64) -> CpuExit {
+        for _ in 0..max_steps {
+            if !self.in_region(self.cpu.eip) {
+                return CpuExit::OutOfRegion(self.cpu.eip);
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+        CpuExit::FuelExhausted
+    }
+
+    /// Execute exactly one instruction (region checks are the caller's
+    /// responsibility). Returns `Some(exit)` if the instruction stops
+    /// execution.
+    pub fn step(&mut self) -> Option<CpuExit> {
+        let pc = self.cpu.eip;
+        let lowered = match self.dcache.get(pc) {
+            Some(l) => *l,
+            None => {
+                let mut buf = [0u8; 16];
+                self.mem.read_bytes(pc, &mut buf);
+                match decode_instr(&buf, pc) {
+                    Ok((instr, len)) => {
+                        let l = lower(&instr, len);
+                        self.dcache.put(pc, l);
+                        l
+                    }
+                    Err(source) => {
+                        return Some(CpuExit::Error(CpuError::Decode { pc, source }));
+                    }
+                }
+            }
+        };
+        self.exec(pc, &lowered)
+    }
+
+    fn addr_of(&self, m: &MemRef) -> u32 {
+        let base = m.base.map_or(0, |r| self.cpu.reg(r));
+        let index = m.index.map_or(0, |r| self.cpu.reg(r));
+        base.wrapping_add(index.wrapping_mul(m.scale as u32))
+            .wrapping_add(m.disp as u32)
+    }
+
+    fn read(&mut self, op: &LOpnd) -> u32 {
+        match op {
+            LOpnd::Reg(r) => self.cpu.reg(*r),
+            LOpnd::Imm(v, _) => *v as u32,
+            LOpnd::Pc(pc) => *pc,
+            LOpnd::Mem(m) => {
+                self.step_loads += 1;
+                let a = self.addr_of(m);
+                match m.size {
+                    OpSize::S8 => self.mem.read_u8(a) as u32,
+                    OpSize::S16 => self.mem.read_u16(a) as u32,
+                    OpSize::S32 => self.mem.read_u32(a),
+                }
+            }
+            LOpnd::None => 0,
+        }
+    }
+
+    fn write(&mut self, op: &LOpnd, v: u32) {
+        match op {
+            LOpnd::Reg(r) => self.cpu.set_reg(*r, v),
+            LOpnd::Mem(m) => {
+                self.step_stores += 1;
+                let a = self.addr_of(m);
+                match m.size {
+                    OpSize::S8 => self.mem.write_u8(a, v as u8),
+                    OpSize::S16 => self.mem.write_u16(a, v as u16),
+                    OpSize::S32 => self.mem.write_u32(a, v),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn push32(&mut self, v: u32) {
+        let esp = self.cpu.reg(Reg::Esp).wrapping_sub(4);
+        self.cpu.set_reg(Reg::Esp, esp);
+        self.step_stores += 1;
+        self.mem.write_u32(esp, v);
+    }
+
+    fn pop32(&mut self) -> u32 {
+        let esp = self.cpu.reg(Reg::Esp);
+        self.step_loads += 1;
+        let v = self.mem.read_u32(esp);
+        self.cpu.set_reg(Reg::Esp, esp.wrapping_add(4));
+        v
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, pc: u32, l: &Lowered) -> Option<CpuExit> {
+        use rio_ia32::Eflags;
+        self.step_loads = 0;
+        self.step_stores = 0;
+        let next_pc = pc.wrapping_add(l.len);
+        let mut new_eip = next_pc;
+        let mut branch_penalty = 0u64;
+        let mut exit: Option<CpuExit> = None;
+
+        match l.op {
+            Opcode::Mov => {
+                let v = self.read(&l.srcs[0]);
+                self.write(&l.dsts[0], v);
+            }
+            Opcode::Lea => {
+                if let LOpnd::Mem(m) = l.srcs[0] {
+                    let a = self.addr_of(&m);
+                    self.write(&l.dsts[0], a);
+                }
+            }
+            Opcode::Movzx => {
+                let v = self.read(&l.srcs[0]); // reads zero-extended
+                self.write(&l.dsts[0], v);
+            }
+            Opcode::Movsx => {
+                let v = self.read(&l.srcs[0]);
+                let sx = match l.srcs[0].size() {
+                    OpSize::S8 => v as u8 as i8 as i32 as u32,
+                    OpSize::S16 => v as u16 as i16 as i32 as u32,
+                    OpSize::S32 => v,
+                };
+                self.write(&l.dsts[0], sx);
+            }
+            Opcode::Add | Opcode::Adc | Opcode::Sub | Opcode::Sbb => {
+                let dst = l.dsts[0];
+                let b = self.read(&l.srcs[0]);
+                let a = self.read(&dst);
+                let size = dst.size();
+                let carry_in = if matches!(l.op, Opcode::Adc | Opcode::Sbb)
+                    && self.cpu.eflags & Eflags::CF.0 != 0
+                {
+                    1
+                } else {
+                    0
+                };
+                let (res, f) = match l.op {
+                    Opcode::Add | Opcode::Adc => alu_add(a, b, carry_in, size),
+                    _ => alu_sub(a, b, carry_in, size),
+                };
+                self.write(&dst, res);
+                self.cpu.set_flags(Eflags::ALL6, f);
+            }
+            Opcode::And | Opcode::Or | Opcode::Xor => {
+                let dst = l.dsts[0];
+                let b = self.read(&l.srcs[0]);
+                let a = self.read(&dst);
+                let raw = match l.op {
+                    Opcode::And => a & b,
+                    Opcode::Or => a | b,
+                    _ => a ^ b,
+                };
+                let (res, f) = alu_logic(raw, dst.size());
+                self.write(&dst, res);
+                self.cpu.set_flags(Eflags::ALL6, f);
+            }
+            Opcode::Cmp => {
+                let a = self.read(&l.srcs[0]);
+                let b = self.read(&l.srcs[1]);
+                let size = l.srcs[0].size().max(l.srcs[1].size());
+                let (_, f) = alu_sub(a, b, 0, size);
+                self.cpu.set_flags(Eflags::ALL6, f);
+            }
+            Opcode::Test => {
+                let a = self.read(&l.srcs[0]);
+                let b = self.read(&l.srcs[1]);
+                let size = l.srcs[0].size().max(l.srcs[1].size());
+                let (_, f) = alu_logic(a & b, size);
+                self.cpu.set_flags(Eflags::ALL6, f);
+            }
+            Opcode::Inc | Opcode::Dec => {
+                let dst = l.dsts[0];
+                let a = self.read(&dst);
+                let (res, f) = if l.op == Opcode::Inc {
+                    alu_add(a, 1, 0, dst.size())
+                } else {
+                    alu_sub(a, 1, 0, dst.size())
+                };
+                self.write(&dst, res);
+                // inc/dec leave CF unchanged.
+                self.cpu.set_flags(Eflags::NOT_CF, f);
+            }
+            Opcode::Neg => {
+                let dst = l.dsts[0];
+                let a = self.read(&dst);
+                let (res, mut f) = alu_sub(0, a, 0, dst.size());
+                // CF is set unless the operand was zero (alu_sub already
+                // computes borrow 0 < a, which matches).
+                if a == 0 {
+                    f &= !Eflags::CF.0;
+                }
+                self.write(&dst, res);
+                self.cpu.set_flags(Eflags::ALL6, f);
+            }
+            Opcode::Not => {
+                let dst = l.dsts[0];
+                let a = self.read(&dst);
+                self.write(&dst, !a);
+            }
+            Opcode::Xchg => {
+                let a = self.read(&l.srcs[0]);
+                let b = self.read(&l.srcs[1]);
+                self.write(&l.dsts[0], b);
+                self.write(&l.dsts[1], a);
+            }
+            Opcode::Shl | Opcode::Shr | Opcode::Sar => {
+                let dst = l.dsts[0];
+                let count = self.read(&l.srcs[0]) & 31;
+                if count != 0 {
+                    let a = self.read(&dst);
+                    let (res, f) = match l.op {
+                        Opcode::Shl => alu_shl(a, count, dst.size()),
+                        Opcode::Shr => alu_shr(a, count, dst.size()),
+                        _ => alu_sar(a, count, dst.size()),
+                    };
+                    self.write(&dst, res);
+                    self.cpu.set_flags(Eflags::ALL6, f);
+                }
+            }
+            Opcode::Imul => {
+                if l.ndst == 2 {
+                    // One-operand form: edx:eax = eax * rm (signed).
+                    let a = self.cpu.reg(Reg::Eax) as i32 as i64;
+                    let b = self.read(&l.srcs[0]) as i32 as i64;
+                    let wide = a * b;
+                    self.cpu.set_reg(Reg::Eax, wide as u32);
+                    self.cpu.set_reg(Reg::Edx, (wide >> 32) as u32);
+                    let overflow = wide != (wide as i32 as i64);
+                    self.set_mul_flags(overflow);
+                } else {
+                    let a = self.read(&l.srcs[0]) as i32 as i64;
+                    let b = self.read(&l.srcs[1]) as i32 as i64;
+                    let wide = a * b;
+                    self.write(&l.dsts[0], wide as u32);
+                    let overflow = wide != (wide as i32 as i64);
+                    self.set_mul_flags(overflow);
+                }
+            }
+            Opcode::Mul => {
+                let a = self.cpu.reg(Reg::Eax) as u64;
+                let b = self.read(&l.srcs[0]) as u64;
+                let wide = a * b;
+                self.cpu.set_reg(Reg::Eax, wide as u32);
+                self.cpu.set_reg(Reg::Edx, (wide >> 32) as u32);
+                self.set_mul_flags(wide >> 32 != 0);
+            }
+            Opcode::Div => {
+                let divisor = self.read(&l.srcs[0]) as u64;
+                let dividend =
+                    ((self.cpu.reg(Reg::Edx) as u64) << 32) | self.cpu.reg(Reg::Eax) as u64;
+                if divisor == 0 || dividend / divisor > u32::MAX as u64 {
+                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                }
+                self.cpu.set_reg(Reg::Eax, (dividend / divisor) as u32);
+                self.cpu.set_reg(Reg::Edx, (dividend % divisor) as u32);
+            }
+            Opcode::Idiv => {
+                let divisor = self.read(&l.srcs[0]) as i32 as i64;
+                let dividend = (((self.cpu.reg(Reg::Edx) as u64) << 32)
+                    | self.cpu.reg(Reg::Eax) as u64) as i64;
+                if divisor == 0 {
+                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                }
+                let q = dividend.wrapping_div(divisor);
+                if q != (q as i32 as i64) {
+                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                }
+                self.cpu.set_reg(Reg::Eax, q as u32);
+                self.cpu
+                    .set_reg(Reg::Edx, dividend.wrapping_rem(divisor) as u32);
+            }
+            Opcode::Cdq => {
+                let v = if self.cpu.reg(Reg::Eax) & 0x8000_0000 != 0 {
+                    0xFFFF_FFFF
+                } else {
+                    0
+                };
+                self.cpu.set_reg(Reg::Edx, v);
+            }
+            Opcode::Cwde => {
+                let v = self.cpu.reg(Reg::Ax) as u16 as i16 as i32 as u32;
+                self.cpu.set_reg(Reg::Eax, v);
+            }
+            Opcode::Push => {
+                let v = self.read(&l.srcs[0]);
+                self.push32(v);
+            }
+            Opcode::Pop => {
+                let v = self.pop32();
+                self.write(&l.dsts[0], v);
+            }
+            Opcode::Pushfd => {
+                let v = (self.cpu.eflags & Eflags::ALL6.0) | 0x2;
+                self.push32(v);
+            }
+            Opcode::Popfd => {
+                let v = self.pop32();
+                self.cpu.set_flags(Eflags::ALL6, v);
+            }
+            Opcode::Lahf => {
+                // AH = SF:ZF:0:AF:0:PF:1:CF.
+                let f = self.cpu.eflags;
+                let ah = (f & 0xFF) | 0x2;
+                self.cpu.set_reg(Reg::Ah, ah);
+            }
+            Opcode::Sahf => {
+                let ah = self.cpu.reg(Reg::Ah);
+                let mask = Eflags(
+                    Eflags::CF.0 | Eflags::PF.0 | Eflags::AF.0 | Eflags::ZF.0 | Eflags::SF.0,
+                );
+                self.cpu.set_flags(mask, ah);
+            }
+            Opcode::Set(cc) => {
+                let v = self.cpu.cc_holds(cc) as u32;
+                self.write(&l.dsts[0], v);
+            }
+            Opcode::Cmov(cc) => {
+                // The load happens regardless of the condition (as on real
+                // hardware); only the register write is conditional.
+                let v = self.read(&l.srcs[0]);
+                if self.cpu.cc_holds(cc) {
+                    self.write(&l.dsts[0], v);
+                }
+            }
+            Opcode::Rol | Opcode::Ror => {
+                use rio_ia32::Eflags;
+                let dst = l.dsts[0];
+                let count = self.read(&l.srcs[0]) & 31;
+                if count != 0 {
+                    let a = self.read(&dst);
+                    let bits = dst.size().bytes() * 8;
+                    let c = count % bits;
+                    let res = if l.op == Opcode::Rol {
+                        a.rotate_left(c) // 32-bit only in the subset
+                    } else {
+                        a.rotate_right(c)
+                    };
+                    self.write(&dst, res);
+                    // CF = bit rotated into position; OF approximated as
+                    // written (architecturally defined only for count==1).
+                    let cf = if l.op == Opcode::Rol {
+                        res & 1
+                    } else {
+                        (res >> (bits - 1)) & 1
+                    };
+                    let mut f = 0;
+                    if cf != 0 {
+                        f |= Eflags::CF.0;
+                    }
+                    self.cpu
+                        .set_flags(Eflags(Eflags::CF.0 | Eflags::OF.0), f);
+                }
+            }
+            Opcode::Bt => {
+                use rio_ia32::Eflags;
+                let base = self.read(&l.srcs[0]);
+                let bit = self.read(&l.srcs[1]) & 31;
+                let cf = (base >> bit) & 1;
+                self.cpu
+                    .set_flags(Eflags::CF, if cf != 0 { Eflags::CF.0 } else { 0 });
+            }
+            Opcode::Bswap => {
+                let v = self.read(&l.dsts[0]);
+                self.write(&l.dsts[0], v.swap_bytes());
+            }
+            Opcode::Nop => {}
+            Opcode::Int3 => {
+                exit = Some(CpuExit::Breakpoint);
+            }
+            Opcode::Int => {
+                let n = self.read(&l.srcs[0]) as u8;
+                self.cpu.eip = next_pc;
+                // Account the instruction before returning.
+                self.finish_step(l, 0);
+                return Some(CpuExit::Syscall(n));
+            }
+            Opcode::Hlt => {
+                self.finish_step(l, 0);
+                return Some(CpuExit::Halt);
+            }
+            Opcode::Jmp => {
+                new_eip = self.read(&l.srcs[0]);
+                branch_penalty = self.cost.direct_branch(&mut self.counters);
+            }
+            Opcode::Jcc(cc) => {
+                let taken = self.cpu.cc_holds(cc);
+                if taken {
+                    new_eip = self.read(&l.srcs[0]);
+                }
+                branch_penalty = self.cost.cond_branch(pc, taken, &mut self.counters);
+            }
+            Opcode::Jecxz => {
+                let taken = self.cpu.reg(Reg::Ecx) == 0;
+                if taken {
+                    new_eip = self.read(&l.srcs[0]);
+                }
+                branch_penalty = self.cost.cond_branch(pc, taken, &mut self.counters);
+            }
+            Opcode::Call => {
+                let target = self.read(&l.srcs[0]);
+                self.push32(next_pc);
+                self.cost.ras_push(next_pc);
+                new_eip = target;
+                branch_penalty = self.cost.direct_branch(&mut self.counters);
+            }
+            Opcode::CallInd => {
+                let target = self.read(&l.srcs[0]);
+                self.push32(next_pc);
+                self.cost.ras_push(next_pc);
+                new_eip = target;
+                branch_penalty = self
+                    .cost
+                    .indirect_branch(pc, target, false, &mut self.counters);
+            }
+            Opcode::JmpInd => {
+                let target = self.read(&l.srcs[0]);
+                new_eip = target;
+                branch_penalty = self
+                    .cost
+                    .indirect_branch(pc, target, false, &mut self.counters);
+            }
+            Opcode::Ret => {
+                let target = self.pop32();
+                if let LOpnd::Imm(extra, _) = l.srcs[0] {
+                    let esp = self.cpu.reg(Reg::Esp).wrapping_add(extra as u32);
+                    self.cpu.set_reg(Reg::Esp, esp);
+                }
+                new_eip = target;
+                branch_penalty = self
+                    .cost
+                    .indirect_branch(pc, target, true, &mut self.counters);
+            }
+            Opcode::Label => {
+                return Some(CpuExit::Error(CpuError::ExecutedLabel { pc }));
+            }
+        }
+
+        self.cpu.eip = new_eip;
+        self.finish_step(l, branch_penalty);
+        exit
+    }
+
+    fn set_mul_flags(&mut self, overflow: bool) {
+        use rio_ia32::Eflags;
+        let v = if overflow {
+            Eflags::CF.0 | Eflags::OF.0
+        } else {
+            0
+        };
+        self.cpu.set_flags(Eflags::ALL6, v);
+    }
+
+    fn finish_step(&mut self, l: &Lowered, branch_penalty: u64) {
+        self.counters.instructions += 1;
+        self.counters.loads += self.step_loads;
+        self.counters.stores += self.step_stores;
+        self.counters.cycles +=
+            self.cost.instr_cost(l.op, self.step_loads, self.step_stores) + branch_penalty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_ia32::encode::encode_list;
+    use rio_ia32::{create, Cc, InstrList, Target};
+
+    fn run_program(il: &InstrList) -> (Machine, CpuExit) {
+        let code = encode_list(il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        let exit = m.run();
+        (m, exit)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(10)));
+        il.push_back(create::add(Opnd::reg(Reg::Eax), Opnd::imm32(32)));
+        il.push_back(create::hlt());
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 42);
+        assert_eq!(m.counters.instructions, 3);
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // eax = sum of 1..=100 via a dec loop.
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(100)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Eax), Opnd::reg(Reg::Ebx)));
+        il.push_back(create::dec(Opnd::reg(Reg::Ebx)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        il.push_back(create::hlt());
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 5050);
+        // The loop branch should be well predicted after warmup.
+        assert!(m.counters.cond_mispredicts < 5);
+    }
+
+    #[test]
+    fn memory_and_stack() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(7)));
+        il.push_back(create::push(Opnd::reg(Reg::Eax)));
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0)));
+        il.push_back(create::pop(Opnd::reg(Reg::Ebx)));
+        il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(Image::DATA_BASE, OpSize::S32)),
+            Opnd::reg(Reg::Ebx),
+        ));
+        il.push_back(create::hlt());
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Ebx), 7);
+        assert_eq!(m.mem.read_u32(Image::DATA_BASE), 7);
+    }
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        // main: call f; hlt.  f: mov eax, 99; ret.
+        let mut il = InstrList::new();
+        let call_site = create::call(Target::Pc(0));
+        let c = il.push_back(call_site);
+        il.push_back(create::hlt());
+        let f = il.push_back(create::label());
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(99)));
+        il.push_back(create::ret());
+        il.get_mut(c).set_target(Target::Instr(f));
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 99);
+        // RAS should predict the matched ret (cold BTB doesn't matter).
+        assert_eq!(m.counters.ind_mispredicts, 0);
+    }
+
+    #[test]
+    fn indirect_jump_via_register() {
+        let mut il = InstrList::new();
+        let j = il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0)));
+        il.push_back(create::jmp_ind(Opnd::reg(Reg::Eax)));
+        il.push_back(create::int3()); // skipped
+        let target = il.push_back(create::label());
+        il.push_back(create::hlt());
+        // Resolve the label's address by encoding once.
+        let enc = encode_list(&il, Image::CODE_BASE).unwrap();
+        let target_addr = Image::CODE_BASE + enc.offset_of(target).unwrap();
+        il.get_mut(j).set_src(0, Opnd::imm32(target_addr as i32));
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Halt);
+        assert_eq!(m.counters.ind_mispredicts, 1); // cold BTB
+    }
+
+    #[test]
+    fn syscall_exit() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::int(0x80));
+        il.push_back(create::hlt());
+        let (m, exit) = run_program(&il);
+        assert_eq!(exit, CpuExit::Syscall(0x80));
+        // eip advanced past the int, ready to resume.
+        assert_eq!(m.cpu.eip, Image::CODE_BASE + 5 + 2);
+    }
+
+    #[test]
+    fn out_of_region_exit() {
+        let mut il = InstrList::new();
+        il.push_back(create::jmp(Target::Pc(0xC000_0000)));
+        let (_, exit) = {
+            let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+            let mut m = Machine::new(CpuKind::Pentium4);
+            m.load_image(&Image::from_code(code));
+            let e = m.run();
+            (m, e)
+        };
+        assert_eq!(exit, CpuExit::OutOfRegion(0xC000_0000));
+    }
+
+    #[test]
+    fn divide_error_detected() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::cdq());
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0)));
+        il.push_back(create::idiv(Opnd::reg(Reg::Ebx)));
+        il.push_back(create::hlt());
+        let (_, exit) = run_program(&il);
+        assert!(matches!(
+            exit,
+            CpuExit::Error(CpuError::DivideError { .. })
+        ));
+    }
+
+    #[test]
+    fn signed_division_semantics() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(-7)));
+        il.push_back(create::cdq());
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(2)));
+        il.push_back(create::idiv(Opnd::reg(Reg::Ebx)));
+        il.push_back(create::hlt());
+        let (m, _) = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Eax) as i32, -3);
+        assert_eq!(m.cpu.reg(Reg::Edx) as i32, -1);
+    }
+
+    #[test]
+    fn inc_preserves_carry() {
+        let mut il = InstrList::new();
+        // Set CF via 0xFFFFFFFF + 1, then inc; CF must survive.
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(-1)));
+        il.push_back(create::add(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::inc(Opnd::reg(Reg::Ebx)));
+        il.push_back(create::sbb(Opnd::reg(Reg::Ecx), Opnd::reg(Reg::Ecx))); // ecx = CF ? -1 : 0
+        il.push_back(create::hlt());
+        let (m, _) = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Ecx), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn flags_save_restore_via_lahf_sahf() {
+        let mut il = InstrList::new();
+        il.push_back(create::cmp(Opnd::reg(Reg::Eax), Opnd::reg(Reg::Eax))); // ZF=1
+        il.push_back(create::lahf());
+        il.push_back(create::add(Opnd::reg(Reg::Ebx), Opnd::imm32(1))); // ZF=0
+        il.push_back(create::sahf()); // restore ZF=1
+        il.push_back(create::setcc(Cc::Z, Opnd::reg(Reg::Cl)));
+        il.push_back(create::hlt());
+        let (m, _) = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Cl), 1);
+    }
+
+    #[test]
+    fn self_modifying_code_requires_invalidation() {
+        // Write a mov imm; hlt, run; patch the immediate; without
+        // invalidation the stale decode executes, with it the new value.
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::hlt());
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 1);
+        // Patch immediate to 2.
+        m.mem.write_u32(Image::CODE_BASE + 1, 2);
+        m.invalidate_code();
+        m.cpu.eip = Image::CODE_BASE;
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 2);
+    }
+
+    #[test]
+    fn charged_overhead_is_tracked_separately() {
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.charge(100);
+        assert_eq!(m.counters.cycles, 100);
+        assert_eq!(m.counters.charged_overhead, 100);
+    }
+}
+
+#[cfg(test)]
+mod extended_isa_exec_tests {
+    use super::*;
+    use rio_ia32::encode::encode_list;
+    use rio_ia32::{create, Cc, InstrList};
+
+    fn run_program(il: &InstrList) -> Machine {
+        let code = encode_list(il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        assert_eq!(m.run(), crate::cpu::CpuExit::Halt);
+        m
+    }
+
+    #[test]
+    fn cmov_moves_only_when_condition_holds() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(99)));
+        il.push_back(create::cmp(Opnd::reg(Reg::Eax), Opnd::imm32(1))); // ZF=1
+        il.push_back(create::cmov(Cc::Z, Reg::Ecx, Opnd::reg(Reg::Ebx))); // taken
+        il.push_back(create::cmov(Cc::Nz, Reg::Edx, Opnd::reg(Reg::Ebx))); // not taken
+        il.push_back(create::hlt());
+        let m = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Ecx), 99);
+        assert_eq!(m.cpu.reg(Reg::Edx), 0);
+    }
+
+    #[test]
+    fn rotates() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0x8000_0001u32 as i32)));
+        il.push_back(create::rol(Opnd::reg(Reg::Eax), Opnd::imm8(1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0x1)));
+        il.push_back(create::ror(Opnd::reg(Reg::Ebx), Opnd::imm8(4)));
+        il.push_back(create::hlt());
+        let m = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Eax), 0x3);
+        assert_eq!(m.cpu.reg(Reg::Ebx), 0x1000_0000);
+    }
+
+    #[test]
+    fn bit_test_sets_carry() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0b1000)));
+        il.push_back(create::bt(Opnd::reg(Reg::Eax), Opnd::imm8(3)));
+        il.push_back(create::sbb(Opnd::reg(Reg::Ecx), Opnd::reg(Reg::Ecx))); // -CF
+        il.push_back(create::bt(Opnd::reg(Reg::Eax), Opnd::imm8(2)));
+        il.push_back(create::sbb(Opnd::reg(Reg::Edx), Opnd::reg(Reg::Edx)));
+        il.push_back(create::hlt());
+        let m = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Ecx), 0xFFFF_FFFF); // bit 3 was set
+        assert_eq!(m.cpu.reg(Reg::Edx), 0); // bit 2 clear
+    }
+
+    #[test]
+    fn bswap_reverses_bytes() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0x1234_5678)));
+        il.push_back(create::bswap(Reg::Eax));
+        il.push_back(create::hlt());
+        let m = run_program(&il);
+        assert_eq!(m.cpu.reg(Reg::Eax), 0x7856_3412);
+    }
+}

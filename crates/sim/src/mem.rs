@@ -1,0 +1,185 @@
+//! Sparse flat 32-bit memory.
+//!
+//! Pages are allocated lazily on first write; reads of untouched memory
+//! return zero. This keeps multi-gigabyte address-space layouts (application
+//! image low, stack in the middle, code cache high) cheap to model.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse, lazily allocated 4 GiB byte-addressable memory.
+///
+/// # Examples
+///
+/// ```
+/// use rio_sim::Memory;
+/// let mut m = Memory::new();
+/// m.write_u32(0x0800_0000, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x0800_0000), 0xdead_beef);
+/// assert_eq!(m.read_u32(0x0800_0004), 0); // untouched memory reads zero
+/// ```
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Memory({} pages)", self.pages.len())
+    }
+}
+
+impl Memory {
+    /// Create an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident pages (for memory accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = v;
+    }
+
+    /// Read a little-endian 16-bit value.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Write a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read a little-endian 32-bit value.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            match self.page(addr) {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    /// Write a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        } else {
+            for (i, b) in v.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Copy a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let mut a = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(rest.len());
+            self.page_mut(a)[off..off + n].copy_from_slice(&rest[..n]);
+            a = a.wrapping_add(n as u32);
+            rest = &rest[n..];
+        }
+    }
+
+    /// Copy `buf.len()` bytes out of memory starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) {
+        let mut a = addr;
+        for b in buf.iter_mut() {
+            *b = self.read_u8(a);
+            a = a.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFFC), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(0x1000, 0xAB);
+        m.write_u16(0x2000, 0xBEEF);
+        m.write_u32(0x3000, 0x1234_5678);
+        assert_eq!(m.read_u8(0x1000), 0xAB);
+        assert_eq!(m.read_u16(0x2000), 0xBEEF);
+        assert_eq!(m.read_u32(0x3000), 0x1234_5678);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.write_u32(0x1FFE, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(0x1FFE), 0xAABB_CCDD);
+        assert_eq!(m.read_u8(0x1FFE), 0xDD);
+        assert_eq!(m.read_u8(0x2001), 0xAA);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_write_spanning_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x0FFF_F0F0, &data);
+        let mut out = vec![0u8; 256];
+        m.read_bytes(0x0FFF_F0F0, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+}

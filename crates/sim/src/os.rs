@@ -1,0 +1,366 @@
+//! Minimal simulated OS: the `int 0x80` system-call gate and a native runner.
+//!
+//! The workload programs use these calls, selected by `%eax`:
+//!
+//! | `%eax` | call          | arguments / result                          |
+//! |--------|---------------|---------------------------------------------|
+//! | 1      | `exit`        | `%ebx` = status (ends the whole program)    |
+//! | 2      | `print_int`   | `%ebx` = value (decimal)                    |
+//! | 3      | `print_chr`   | `%bl` = byte                                |
+//! | 10     | `spawn`       | `%ebx` = entry pc → `%eax` = thread id      |
+//! | 11     | `yield`       | cooperative switch to the next thread       |
+//! | 12     | `thread_exit` | ends the calling thread                     |
+//!
+//! Threads are cooperative: a thread runs until it yields or exits. Each
+//! thread gets its own stack carved out below [`Image::STACK_TOP`].
+//!
+//! Output is buffered in [`Os::output`] — never written to the host's
+//! stdout — which is also how the RIO engine keeps *its* I/O transparent
+//! with respect to the application's.
+
+use rio_ia32::Reg;
+
+use crate::cpu::CpuExit;
+use crate::image::Image;
+use crate::machine::Machine;
+
+/// The system-call vector used by workloads.
+pub const SYSCALL_VECTOR: u8 = 0x80;
+
+/// Cycle cost of the (simulated) kernel round trip.
+pub const SYSCALL_COST: u64 = 200;
+
+/// Per-thread stack size (each thread's stack top is
+/// `STACK_TOP - tid * THREAD_STACK_SIZE`).
+pub const THREAD_STACK_SIZE: u32 = 0x0010_0000;
+
+/// Maximum threads per program (matching the RIO engine's thread-private
+/// cache partitioning, so native and translated runs agree on `spawn`
+/// failures).
+pub const MAX_THREADS: u32 = 8;
+
+/// What a system call asks the scheduler to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyscallAction {
+    /// Keep running the current thread.
+    Continue,
+    /// The program has exited (all threads stop).
+    ExitProgram,
+    /// Spawn a new thread at the given entry pc; `%eax` of the caller has
+    /// been set to the new thread id.
+    Spawn {
+        /// Application entry point of the new thread.
+        entry: u32,
+    },
+    /// Cooperatively yield to the next runnable thread.
+    Yield,
+    /// The calling thread is done.
+    ThreadExit,
+}
+
+/// Simulated OS state: program output and exit status.
+#[derive(Clone, Debug, Default)]
+pub struct Os {
+    /// Bytes written by the program (via `print_int` / `print_chr`).
+    pub output: String,
+    /// Exit status once the program has called `exit` or halted.
+    pub exit_code: Option<i32>,
+}
+
+impl Os {
+    /// Fresh OS state.
+    pub fn new() -> Os {
+        Os::default()
+    }
+
+    /// Handle the system call the machine just raised. Returns `true` if
+    /// execution should continue, `false` if the program exited.
+    ///
+    /// Thread calls report [`SyscallAction::ThreadExit`]-class actions via
+    /// [`Os::handle_syscall_threaded`]; through this single-threaded entry
+    /// point they are no-ops (`spawn` returns thread id 0 = failure).
+    pub fn handle_syscall(&mut self, m: &mut Machine) -> bool {
+        !matches!(self.handle_syscall_threaded(m, 0), SyscallAction::ExitProgram)
+    }
+
+    /// Handle the system call with thread semantics. `next_tid` is the id a
+    /// successful `spawn` will assign (0 reports failure to the caller).
+    pub fn handle_syscall_threaded(&mut self, m: &mut Machine, next_tid: u32) -> SyscallAction {
+        m.charge(SYSCALL_COST);
+        match m.cpu.reg(Reg::Eax) {
+            1 => {
+                self.exit_code = Some(m.cpu.reg(Reg::Ebx) as i32);
+                SyscallAction::ExitProgram
+            }
+            2 => {
+                use std::fmt::Write;
+                let v = m.cpu.reg(Reg::Ebx) as i32;
+                let _ = writeln!(self.output, "{v}");
+                SyscallAction::Continue
+            }
+            3 => {
+                self.output.push(m.cpu.reg(Reg::Bl) as u8 as char);
+                SyscallAction::Continue
+            }
+            10 => {
+                let entry = m.cpu.reg(Reg::Ebx);
+                m.cpu.set_reg(Reg::Eax, next_tid);
+                if next_tid == 0 {
+                    SyscallAction::Continue
+                } else {
+                    SyscallAction::Spawn { entry }
+                }
+            }
+            11 => SyscallAction::Yield,
+            12 => SyscallAction::ThreadExit,
+            other => {
+                // Unknown call: treat as exit with a distinctive status so
+                // bugs surface in tests.
+                self.exit_code = Some(0x1000 + other as i32);
+                SyscallAction::ExitProgram
+            }
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Exit status (`exit` argument, or 0 for `hlt`).
+    pub exit_code: i32,
+    /// Buffered program output.
+    pub output: String,
+    /// Final machine counters.
+    pub counters: crate::perf::Counters,
+}
+
+/// Execute an image natively (no dynamic translator) to completion.
+///
+/// This is the baseline every normalized-execution-time experiment divides
+/// by.
+///
+/// # Panics
+///
+/// Panics if the program faults or leaves its code region — workload
+/// programs are expected to be well-formed.
+///
+/// # Examples
+///
+/// ```
+/// use rio_sim::{run_native, Image, CpuKind};
+/// use rio_ia32::{InstrList, create, Opnd, Reg};
+/// use rio_ia32::encode::encode_list;
+///
+/// let mut il = InstrList::new();
+/// il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1))); // exit
+/// il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(7))); // status
+/// il.push_back(create::int(0x80));
+/// let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+/// let r = run_native(&Image::from_code(code), CpuKind::Pentium4);
+/// assert_eq!(r.exit_code, 7);
+/// ```
+pub fn run_native(image: &Image, kind: crate::perf::CpuKind) -> RunResult {
+    use crate::cpu::CpuState;
+    use rio_ia32::Reg as R;
+
+    let mut m = Machine::new(kind);
+    m.load_image(image);
+    let mut os = Os::new();
+    // Cooperative threads: parked CPU states waiting for their turn.
+    let mut parked: std::collections::VecDeque<CpuState> = std::collections::VecDeque::new();
+    let mut next_tid: u32 = 1;
+    let spawn_tid = |next: u32| if next < MAX_THREADS { next } else { 0 };
+    /// Cost of an OS-level thread switch.
+    const THREAD_SWITCH_COST: u64 = 400;
+
+    'run: loop {
+        match m.run() {
+            CpuExit::Halt => {
+                // The current thread is done; resume another or finish.
+                match parked.pop_front() {
+                    Some(cpu) => {
+                        m.cpu = cpu;
+                        m.charge(THREAD_SWITCH_COST);
+                    }
+                    None => {
+                        os.exit_code.get_or_insert(0);
+                        break 'run;
+                    }
+                }
+            }
+            CpuExit::Syscall(SYSCALL_VECTOR) => {
+                match os.handle_syscall_threaded(&mut m, spawn_tid(next_tid)) {
+                    SyscallAction::Continue => {}
+                    SyscallAction::ExitProgram => break 'run,
+                    SyscallAction::Spawn { entry } => {
+                        let mut cpu = CpuState::new();
+                        cpu.eip = entry;
+                        cpu.set_reg(
+                            R::Esp,
+                            Image::STACK_TOP - next_tid * THREAD_STACK_SIZE - 16,
+                        );
+                        parked.push_back(cpu);
+                        next_tid += 1;
+                    }
+                    SyscallAction::Yield => {
+                        if let Some(next) = parked.pop_front() {
+                            let prev = std::mem::replace(&mut m.cpu, next);
+                            parked.push_back(prev);
+                            m.charge(THREAD_SWITCH_COST);
+                        }
+                    }
+                    SyscallAction::ThreadExit => match parked.pop_front() {
+                        Some(cpu) => {
+                            m.cpu = cpu;
+                            m.charge(THREAD_SWITCH_COST);
+                        }
+                        None => {
+                            os.exit_code.get_or_insert(0);
+                            break 'run;
+                        }
+                    },
+                }
+            }
+            other => panic!("native run failed: {other:?} at eip={:#x}", m.cpu.eip),
+        }
+    }
+    RunResult {
+        exit_code: os.exit_code.unwrap_or(0),
+        output: os.output,
+        counters: m.counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::CpuKind;
+    use rio_ia32::encode::encode_list;
+    use rio_ia32::{create, InstrList, Opnd};
+
+    fn program(build: impl FnOnce(&mut InstrList)) -> Image {
+        let mut il = InstrList::new();
+        build(&mut il);
+        Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+    }
+
+    #[test]
+    fn exit_status_propagates() {
+        let img = program(|il| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+            il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(42)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+        });
+        let r = run_native(&img, CpuKind::Pentium4);
+        assert_eq!(r.exit_code, 42);
+    }
+
+    #[test]
+    fn print_int_buffers_output() {
+        let img = program(|il| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(2)));
+            il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(-5)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+            il.push_back(create::hlt());
+        });
+        let r = run_native(&img, CpuKind::Pentium4);
+        assert_eq!(r.output, "-5\n");
+        assert_eq!(r.exit_code, 0);
+    }
+
+    #[test]
+    fn print_chr_appends_bytes() {
+        let img = program(|il| {
+            for c in [b'h', b'i'] {
+                il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(3)));
+                il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(c as i32)));
+                il.push_back(create::int(SYSCALL_VECTOR));
+            }
+            il.push_back(create::hlt());
+        });
+        let r = run_native(&img, CpuKind::Pentium4);
+        assert_eq!(r.output, "hi");
+    }
+
+    #[test]
+    fn unknown_syscall_exits_with_marker() {
+        let img = program(|il| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(99)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+        });
+        let r = run_native(&img, CpuKind::Pentium4);
+        assert_eq!(r.exit_code, 0x1000 + 99);
+    }
+
+    #[test]
+    fn syscall_cost_is_charged() {
+        let img = program(|il| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+            il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+        });
+        let r = run_native(&img, CpuKind::Pentium4);
+        assert!(r.counters.charged_overhead >= SYSCALL_COST);
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::*;
+    use crate::perf::CpuKind;
+    use rio_ia32::encode::encode_list;
+    use rio_ia32::{create, InstrList, Opnd, Target};
+
+    /// main prints 'A', yields, prints 'A', exits program with 7;
+    /// worker prints 'B', yields, prints 'B', thread-exits.
+    fn two_thread_image() -> Image {
+        let mut il = InstrList::new();
+        let emit_putc = |il: &mut InstrList, c: u8| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(3)));
+            il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(c as i32)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+        };
+        let emit_yield = |il: &mut InstrList| {
+            il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(11)));
+            il.push_back(create::int(SYSCALL_VECTOR));
+        };
+        // spawn(worker)
+        let patch = il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(10)));
+        il.push_back(create::int(SYSCALL_VECTOR));
+        emit_putc(&mut il, b'A');
+        emit_yield(&mut il);
+        emit_putc(&mut il, b'A');
+        emit_yield(&mut il);
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(7)));
+        il.push_back(create::int(SYSCALL_VECTOR));
+        // worker:
+        let worker = il.push_back(create::label());
+        emit_putc(&mut il, b'B');
+        emit_yield(&mut il);
+        emit_putc(&mut il, b'B');
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(12)));
+        il.push_back(create::int(SYSCALL_VECTOR));
+        il.push_back(create::hlt());
+        let enc = encode_list(&il, Image::CODE_BASE).unwrap();
+        let worker_addr = Image::CODE_BASE + enc.offset_of(worker).unwrap();
+        il.get_mut(patch).set_src(0, Opnd::imm32(worker_addr as i32));
+        let _ = Target::Pc(0);
+        Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+    }
+
+    #[test]
+    fn threads_interleave_cooperatively() {
+        let r = run_native(&two_thread_image(), CpuKind::Pentium4);
+        assert_eq!(r.output, "ABAB");
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn program_exit_stops_all_threads() {
+        // main exits before the worker's second print.
+        let r = run_native(&two_thread_image(), CpuKind::Pentium4);
+        assert_eq!(r.exit_code, 7); // from main's exit(7), not worker
+    }
+}

@@ -1,0 +1,131 @@
+//! Abstract syntax of the Dyna workload language.
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed remainder)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (signed)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expressions. All values are 32-bit signed integers with wrapping
+/// arithmetic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Variable (local, parameter, or global scalar).
+    Var(String),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e` (yields 0 or 1).
+    Not(Box<Expr>),
+    /// Direct call `f(args)`.
+    Call(String, Vec<Expr>),
+    /// Indirect call `icall(target, args...)` through a function address.
+    ICall(Box<Expr>, Vec<Expr>),
+    /// Address of a function `&f`.
+    FnAddr(String),
+    /// Short-circuit logical and `a && b` (yields 0 or 1).
+    AndAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit logical or `a || b` (yields 0 or 1).
+    OrOr(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` — declare and initialize a local.
+    Let(String, Expr),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `a[i] = e;`
+    Store(String, Expr, Expr),
+    /// `x++;` (compiles to a memory `inc`)
+    Inc(String),
+    /// `x--;` (compiles to a memory `dec`)
+    Dec(String),
+    /// `while (c) { ... }`
+    While(Expr, Vec<Stmt>),
+    /// `if (c) { ... } else { ... }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `return e;` (`return;` returns 0)
+    Return(Expr),
+    /// `print(e);` — decimal line to program output.
+    Print(Expr),
+    /// `printc(e);` — single byte to program output.
+    PrintC(Expr),
+    /// `switch (e) { case k { } ... default { } }` — dense jump table.
+    Switch(Expr, Vec<(i32, Vec<Stmt>)>, Vec<Stmt>),
+    /// `break;` — exit the innermost `while`.
+    Break,
+    /// `continue;` — jump to the innermost `while`'s test.
+    Continue,
+    /// Expression statement (usually a call).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Name (entry point is `main`).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A global declaration: scalar (`global g = 3;`) or array
+/// (`global a[100];`, zero-initialized).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element count (1 for scalars).
+    pub len: u32,
+    /// Initial value of element 0 (scalars only).
+    pub init: i32,
+}
+
+/// A whole program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Global declarations.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,107 @@
+//! The Dyna compiler entry point.
+
+use std::error::Error;
+use std::fmt;
+
+use rio_ia32::EncodeError;
+use rio_sim::Image;
+
+use crate::codegen::Codegen;
+use crate::parser::{parse, ParseError};
+
+/// Compilation failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// Source failed to parse.
+    Parse(ParseError),
+    /// Reference to an undeclared variable.
+    UnknownVar {
+        /// Variable name.
+        name: String,
+        /// Function it was used in.
+        function: String,
+    },
+    /// Call to an undefined function.
+    UnknownFunction(String),
+    /// Call with the wrong argument count.
+    Arity {
+        /// Function name.
+        function: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Duplicate global or function name.
+    Duplicate(String),
+    /// No `main` function.
+    NoMain,
+    /// `break`/`continue` outside a loop.
+    StrayLoopControl {
+        /// Which statement (`"break"` or `"continue"`).
+        what: &'static str,
+        /// Function it appeared in.
+        function: String,
+    },
+    /// Generated code failed to encode (internal error).
+    Encode(EncodeError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::UnknownVar { name, function } => {
+                write!(f, "unknown variable `{name}` in `{function}`")
+            }
+            CompileError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            CompileError::Arity {
+                function,
+                expected,
+                got,
+            } => write!(f, "`{function}` takes {expected} arguments, got {got}"),
+            CompileError::Duplicate(n) => write!(f, "duplicate definition of `{n}`"),
+            CompileError::NoMain => write!(f, "no `main` function"),
+            CompileError::StrayLoopControl { what, function } => {
+                write!(f, "`{what}` outside a loop in `{function}`")
+            }
+            CompileError::Encode(e) => write!(f, "internal encoding failure: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<EncodeError> for CompileError {
+    fn from(e: EncodeError) -> CompileError {
+        CompileError::Encode(e)
+    }
+}
+
+/// Compile Dyna source into a loadable [`Image`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on parse or semantic failures.
+///
+/// # Examples
+///
+/// ```
+/// use rio_workloads::compile;
+/// use rio_sim::{run_native, CpuKind};
+///
+/// let image = compile("fn main() { return 6 * 7; }")?;
+/// let result = run_native(&image, CpuKind::Pentium4);
+/// assert_eq!(result.exit_code, 42);
+/// # Ok::<(), rio_workloads::CompileError>(())
+/// ```
+pub fn compile(src: &str) -> Result<Image, CompileError> {
+    let prog = parse(src)?;
+    Codegen::new().compile(&prog)
+}

@@ -1,0 +1,244 @@
+//! Lexer for the Dyna workload language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i32),
+    /// Identifier.
+    Ident(String),
+    /// Keyword: `fn`, `var`, `global`, `while`, `if`, `else`, `return`,
+    /// `print`, `printc`, `switch`, `case`, `default`, `icall`, `break`.
+    Kw(&'static str),
+    /// Punctuation or operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: u32,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+    }
+}
+
+impl Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "fn", "var", "global", "while", "if", "else", "return", "print", "printc", "switch", "case",
+    "default", "icall", "break", "continue",
+];
+
+/// Tokenize Dyna source. Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push((Tok::Sym("/"), line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n.wrapping_mul(10).wrapping_add(v as i64);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Num(n as i32), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match KEYWORDS.iter().find(|k| **k == s) {
+                    Some(k) => out.push((Tok::Kw(k), line)),
+                    None => out.push((Tok::Ident(s), line)),
+                }
+            }
+            _ => {
+                chars.next();
+                let two = |second: char, sym2: &'static str, sym1: &'static str, chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+                    if chars.peek() == Some(&second) {
+                        chars.next();
+                        sym2
+                    } else {
+                        sym1
+                    }
+                };
+                let sym: &'static str = match c {
+                    '+' => two('+', "++", "+", &mut chars),
+                    '-' => two('-', "--", "-", &mut chars),
+                    '*' => "*",
+                    '%' => "%",
+                    '&' => two('&', "&&", "&", &mut chars),
+                    '|' => two('|', "||", "|", &mut chars),
+                    '^' => "^",
+                    '(' => "(",
+                    ')' => ")",
+                    '{' => "{",
+                    '}' => "}",
+                    '[' => "[",
+                    ']' => "]",
+                    ';' => ";",
+                    ',' => ",",
+                    '!' => two('=', "!=", "!", &mut chars),
+                    '=' => two('=', "==", "=", &mut chars),
+                    '<' => {
+                        if chars.peek() == Some(&'<') {
+                            chars.next();
+                            "<<"
+                        } else if chars.peek() == Some(&'=') {
+                            chars.next();
+                            "<="
+                        } else {
+                            "<"
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            ">>"
+                        } else if chars.peek() == Some(&'=') {
+                            chars.next();
+                            ">="
+                        } else {
+                            ">"
+                        }
+                    }
+                    other => return Err(LexError { line, ch: other }),
+                };
+                out.push((Tok::Sym(sym), line));
+            }
+        }
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_function_header() {
+        assert_eq!(
+            toks("fn main() { return 42; }"),
+            vec![
+                Tok::Kw("fn"),
+                Tok::Ident("main".into()),
+                Tok::Sym("("),
+                Tok::Sym(")"),
+                Tok::Sym("{"),
+                Tok::Kw("return"),
+                Tok::Num(42),
+                Tok::Sym(";"),
+                Tok::Sym("}"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            toks("a << b >> c <= d >= e == f != g ++ --"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Sym("<<"),
+                Tok::Ident("b".into()),
+                Tok::Sym(">>"),
+                Tok::Ident("c".into()),
+                Tok::Sym("<="),
+                Tok::Ident("d".into()),
+                Tok::Sym(">="),
+                Tok::Ident("e".into()),
+                Tok::Sym("=="),
+                Tok::Ident("f".into()),
+                Tok::Sym("!="),
+                Tok::Ident("g".into()),
+                Tok::Sym("++"),
+                Tok::Sym("--"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let lexed = lex("x // comment\ny").unwrap();
+        assert_eq!(lexed[0], (Tok::Ident("x".into()), 1));
+        assert_eq!(lexed[1], (Tok::Ident("y".into()), 2));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn numbers_wrap_like_i32() {
+        assert_eq!(toks("2147483647"), vec![Tok::Num(i32::MAX), Tok::Eof]);
+    }
+}

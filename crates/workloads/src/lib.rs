@@ -1,0 +1,38 @@
+//! # rio-workloads — the Dyna language and SPEC2000-like benchmark suite
+//!
+//! The paper evaluates on SPEC2000 binaries compiled with `gcc -O3`. This
+//! crate substitutes a small imperative language ("Dyna") with a compiler to
+//! the IA-32 subset, plus a suite of synthetic benchmarks named after their
+//! SPEC counterparts whose *characteristics* (loop-heavy vs call-heavy,
+//! indirect-branch density, redundant-load density, code reuse) mirror the
+//! originals — the properties the paper's evaluation actually turns on.
+//!
+//! The compiler is intentionally naive (see [`codegen`]), so its output
+//! exhibits the redundancies real compiled code has on register-starved
+//! IA-32.
+//!
+//! ```
+//! use rio_workloads::compile;
+//! use rio_sim::{run_native, CpuKind};
+//!
+//! let image = compile(
+//!     "fn main() {
+//!          var sum = 0;
+//!          var i = 1;
+//!          while (i <= 10) { sum = sum + i; i++; }
+//!          return sum;
+//!      }",
+//! )?;
+//! assert_eq!(run_native(&image, CpuKind::Pentium4).exit_code, 55);
+//! # Ok::<(), rio_workloads::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod compiler;
+pub mod lexer;
+pub mod parser;
+pub mod suite;
+
+pub use compiler::{compile, CompileError};
+pub use suite::{benchmark, suite, suite_scaled, Benchmark, Category};

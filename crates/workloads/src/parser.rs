@@ -1,0 +1,578 @@
+//! Recursive-descent parser for the Dyna workload language.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Function, Global, Program, Stmt};
+use crate::lexer::{lex, LexError, Tok};
+
+/// A parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What the parser wanted.
+        expected: String,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+            } => write!(f, "line {line}: expected {expected}, found `{found}`"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().to_string(),
+            expected: expected.to_string(),
+            line: self.line(),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{s}`")))
+        }
+    }
+
+    fn try_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_kw(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), Tok::Kw(x) if *x == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn num(&mut self) -> Result<i32, ParseError> {
+        let neg = self.try_sym("-");
+        match *self.peek() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(if neg { n.wrapping_neg() } else { n })
+            }
+            _ => Err(self.unexpected("number")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        loop {
+            if self.try_kw("fn") {
+                p.functions.push(self.function()?);
+            } else if self.try_kw("global") {
+                let name = self.ident()?;
+                let len = if self.try_sym("[") {
+                    let n = self.num()?;
+                    self.eat_sym("]")?;
+                    n.max(1) as u32
+                } else {
+                    1
+                };
+                let init = if self.try_sym("=") { self.num()? } else { 0 };
+                self.eat_sym(";")?;
+                p.globals.push(Global { name, len, init });
+            } else if matches!(self.peek(), Tok::Eof) {
+                break;
+            } else {
+                return Err(self.unexpected("`fn`, `global`, or end of input"));
+            }
+        }
+        Ok(p)
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let name = self.ident()?;
+        self.eat_sym("(")?;
+        let mut params = Vec::new();
+        if !self.try_sym(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.try_sym(")") {
+                    break;
+                }
+                self.eat_sym(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_sym("{")?;
+        let mut out = Vec::new();
+        while !self.try_sym("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.try_kw("var") {
+            let name = self.ident()?;
+            self.eat_sym("=")?;
+            let e = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.try_kw("while") {
+            self.eat_sym("(")?;
+            let c = self.expr()?;
+            self.eat_sym(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(c, body));
+        }
+        if self.try_kw("if") {
+            self.eat_sym("(")?;
+            let c = self.expr()?;
+            self.eat_sym(")")?;
+            let then = self.block()?;
+            let els = if self.try_kw("else") {
+                if matches!(self.peek(), Tok::Kw("if")) {
+                    self.bump();
+                    self.eat_sym("(")?;
+                    let c2 = self.expr()?;
+                    self.eat_sym(")")?;
+                    let t2 = self.block()?;
+                    let e2 = if self.try_kw("else") {
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    vec![Stmt::If(c2, t2, e2)]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if self.try_kw("break") {
+            self.eat_sym(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.try_kw("continue") {
+            self.eat_sym(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.try_kw("return") {
+            let e = if self.try_sym(";") {
+                return Ok(Stmt::Return(Expr::Num(0)));
+            } else {
+                self.expr()?
+            };
+            self.eat_sym(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.try_kw("print") {
+            self.eat_sym("(")?;
+            let e = self.expr()?;
+            self.eat_sym(")")?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Print(e));
+        }
+        if self.try_kw("printc") {
+            self.eat_sym("(")?;
+            let e = self.expr()?;
+            self.eat_sym(")")?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::PrintC(e));
+        }
+        if self.try_kw("switch") {
+            self.eat_sym("(")?;
+            let e = self.expr()?;
+            self.eat_sym(")")?;
+            self.eat_sym("{")?;
+            let mut cases = Vec::new();
+            let mut default = Vec::new();
+            loop {
+                if self.try_kw("case") {
+                    let k = self.num()?;
+                    let body = self.block()?;
+                    cases.push((k, body));
+                } else if self.try_kw("default") {
+                    default = self.block()?;
+                } else if self.try_sym("}") {
+                    break;
+                } else {
+                    return Err(self.unexpected("`case`, `default`, or `}`"));
+                }
+            }
+            return Ok(Stmt::Switch(e, cases, default));
+        }
+        // Assignment / increment / array store / expression statement.
+        if let Tok::Ident(name) = self.peek().clone() {
+            // Look ahead past the identifier.
+            let save = self.pos;
+            self.bump();
+            if self.try_sym("++") {
+                self.eat_sym(";")?;
+                return Ok(Stmt::Inc(name));
+            }
+            if self.try_sym("--") {
+                self.eat_sym(";")?;
+                return Ok(Stmt::Dec(name));
+            }
+            if self.try_sym("=") {
+                let e = self.expr()?;
+                self.eat_sym(";")?;
+                return Ok(Stmt::Assign(name, e));
+            }
+            if self.try_sym("[") {
+                let idx = self.expr()?;
+                self.eat_sym("]")?;
+                if self.try_sym("=") {
+                    let e = self.expr()?;
+                    self.eat_sym(";")?;
+                    return Ok(Stmt::Store(name, idx, e));
+                }
+            }
+            // Not an assignment: reparse as an expression statement.
+            self.pos = save;
+        }
+        let e = self.expr()?;
+        self.eat_sym(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logic_and()?;
+        while matches!(self.peek(), Tok::Sym("||")) {
+            self.bump();
+            let rhs = self.logic_and()?;
+            lhs = Expr::OrOr(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bin_or()?;
+        while matches!(self.peek(), Tok::Sym("&&")) {
+            self.bump();
+            let rhs = self.bin_or()?;
+            lhs = Expr::AndAnd(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bin_level(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (sym, op) in ops {
+                if matches!(self.peek(), Tok::Sym(s) if s == sym) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Bin(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bin_or(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(&[("|", BinOp::Or), ("^", BinOp::Xor)], Parser::bin_and)
+    }
+
+    fn bin_and(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(&[("&", BinOp::And)], Parser::bin_cmp)
+    }
+
+    fn bin_cmp(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(
+            &[
+                ("==", BinOp::Eq),
+                ("!=", BinOp::Ne),
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            Parser::bin_shift,
+        )
+    }
+
+    fn bin_shift(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Parser::bin_add)
+    }
+
+    fn bin_add(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Parser::bin_mul)
+    }
+
+    fn bin_mul(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+            Parser::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.try_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.try_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.try_sym("&") {
+            let name = self.ident()?;
+            return Ok(Expr::FnAddr(name));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if self.try_kw("icall") {
+            self.eat_sym("(")?;
+            let target = self.expr()?;
+            let mut args = Vec::new();
+            while self.try_sym(",") {
+                args.push(self.expr()?);
+            }
+            self.eat_sym(")")?;
+            return Ok(Expr::ICall(Box::new(target), args));
+        }
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.try_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.try_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_sym(")") {
+                                break;
+                            }
+                            self.eat_sym(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.try_sym("[") {
+                    let idx = self.expr()?;
+                    self.eat_sym("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+/// Parse Dyna source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic failures.
+///
+/// # Examples
+///
+/// ```
+/// use rio_workloads::parser::parse;
+/// let p = parse("fn main() { return 1 + 2 * 3; }")?;
+/// assert_eq!(p.functions.len(), 1);
+/// # Ok::<(), rio_workloads::parser::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("fn main() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(e) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Num(1)),
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Num(2)),
+                    Box::new(Expr::Num(3))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let p = parse("global g = 5; global a[100]; fn main() { return g + a[3]; }").unwrap();
+        assert_eq!(p.globals[0].init, 5);
+        assert_eq!(p.globals[1].len, 100);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse(
+            "fn main() {
+                var i = 0;
+                while (i < 10) { i++; }
+                if (i == 10) { print(i); } else { print(0); }
+                return i;
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.functions[0].body.len(), 4);
+        assert!(matches!(p.functions[0].body[1], Stmt::While(..)));
+        assert!(matches!(p.functions[0].body[2], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_switch_and_icall() {
+        let p = parse(
+            "fn h(x) { return x; }
+             fn main() {
+                var p = &h;
+                var v = icall(p, 3);
+                switch (v) {
+                    case 0 { print(0); }
+                    case 1 { print(1); }
+                    default { print(9); }
+                }
+                return v;
+            }",
+        )
+        .unwrap();
+        let body = &p.functions[1].body;
+        assert!(matches!(&body[0], Stmt::Let(_, Expr::FnAddr(f)) if f == "h"));
+        assert!(matches!(&body[1], Stmt::Let(_, Expr::ICall(..))));
+        let Stmt::Switch(_, cases, default) = &body[2] else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 2);
+        assert_eq!(default.len(), 1);
+    }
+
+    #[test]
+    fn parses_inc_dec_and_array_store() {
+        let p = parse("global a[4]; fn main() { var i = 0; i++; i--; a[i] = 7; return a[i]; }")
+            .unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[1], Stmt::Inc(_)));
+        assert!(matches!(body[2], Stmt::Dec(_)));
+        assert!(matches!(body[3], Stmt::Store(..)));
+    }
+
+    #[test]
+    fn reports_errors_with_line() {
+        let err = parse("fn main() {\n  return @;\n}").unwrap_err();
+        assert!(matches!(err, ParseError::Lex(LexError { line: 2, .. })));
+        let err = parse("fn main() { return 1 }").unwrap_err();
+        let ParseError::Unexpected { expected, .. } = err else {
+            panic!()
+        };
+        assert!(expected.contains(';'));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse(
+            "fn main() { var x = 3;
+               if (x == 1) { return 1; }
+               else if (x == 2) { return 2; }
+               else { return 3; }
+             }",
+        )
+        .unwrap();
+        let Stmt::If(_, _, els) = &p.functions[0].body[1] else {
+            panic!()
+        };
+        assert!(matches!(&els[0], Stmt::If(..)));
+    }
+}

@@ -1,0 +1,773 @@
+//! The SPEC2000-like synthetic benchmark suite.
+//!
+//! Each benchmark is a Dyna program named after the SPEC CPU2000 workload
+//! whose *execution character* it mimics — the property structure the
+//! paper's evaluation turns on, not the original source:
+//!
+//! * **FP-like** benchmarks are tight loop kernels with high code reuse and
+//!   dense redundant loads (coefficients and accumulators live in memory) —
+//!   where redundant load removal shines (§5: "does well on a number of
+//!   floating-point benchmarks", 40% on mgrid). No x87 exists in the
+//!   subset; arithmetic-intensive integer kernels stand in for FP.
+//! * **Integer** benchmarks are branchy, call-heavy, and indirect-branch
+//!   heavy (switch dispatch, function-pointer tables, returns from many
+//!   sites) — where indirect-branch dispatch and custom traces win.
+//! * `gcc`- and `perlbmk`-like benchmarks have large static footprints and
+//!   little code reuse, so translation and optimization time cannot be
+//!   amortized — the paper's slowdown cases.
+//!
+//! Every benchmark prints a checksum, so native-vs-RIO equivalence is fully
+//! checkable.
+
+/// Workload category (SPEC's integer vs floating-point split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// SPECint-like: branchy / call-heavy / indirect-heavy.
+    Int,
+    /// SPECfp-like: loop kernels with high reuse.
+    Fp,
+}
+
+/// One synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// SPEC-analog name.
+    pub name: &'static str,
+    /// Category.
+    pub category: Category,
+    /// One-line character description.
+    pub character: &'static str,
+    /// Dyna source.
+    pub source: String,
+}
+
+fn fp(name: &'static str, character: &'static str, source: String) -> Benchmark {
+    Benchmark {
+        name,
+        category: Category::Fp,
+        character,
+        source,
+    }
+}
+
+fn int(name: &'static str, character: &'static str, source: String) -> Benchmark {
+    Benchmark {
+        name,
+        category: Category::Int,
+        character,
+        source,
+    }
+}
+
+/// `mgrid`-like: 3-point stencil smoothing passes over a grid; the inner
+/// loop reloads three coefficient globals and the accumulator every element.
+fn mgrid(passes: i32) -> String {
+    format!(
+        "global u[260];
+         global c0 = 5; global c1 = 3; global c2 = 5;
+         fn main() {{
+             var i = 0;
+             while (i < 260) {{ u[i] = i * 7 % 1000; i++; }}
+             var p = 0;
+             while (p < {passes}) {{
+                 var j = 1;
+                 while (j < 259) {{
+                     var l = u[j-1];
+                     var c = u[j];
+                     var r = u[j+1];
+                     u[j] = (c0 * l + c1 * c + c2 * r + l + r + c) / 16;
+                     j++;
+                 }}
+                 p++;
+             }}
+             var s = 0;
+             var k = 0;
+             while (k < 260) {{ s = s + u[k]; k++; }}
+             print(s);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `swim`-like: two-array relaxation with coefficient reloads.
+fn swim(passes: i32) -> String {
+    format!(
+        "global h[200]; global v[200];
+         global dt = 3; global dx = 7;
+         fn main() {{
+             var i = 0;
+             while (i < 200) {{ h[i] = i * 13 % 500; v[i] = i * 29 % 500; i++; }}
+             var p = 0;
+             while (p < {passes}) {{
+                 var j = 1;
+                 while (j < 199) {{
+                     h[j] = h[j] + dt * (v[j+1] - v[j-1]) / dx;
+                     v[j] = v[j] + dt * (h[j+1] - h[j-1]) / dx;
+                     j++;
+                 }}
+                 p++;
+             }}
+             var s = 0; var k = 0;
+             while (k < 200) {{ s = s + h[k] + v[k]; k++; }}
+             print(s);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `applu`-like: nested loop nest with multiply-heavy body and a
+/// memory-resident accumulator.
+fn applu(outer: i32) -> String {
+    format!(
+        "global acc = 0;
+         global w[64];
+         fn main() {{
+             var i = 0;
+             while (i < 64) {{ w[i] = i * i % 97; i++; }}
+             var o = 0;
+             while (o < {outer}) {{
+                 var a = 0;
+                 while (a < 16) {{
+                     var b = 0;
+                     while (b < 16) {{
+                         acc = acc + w[a] * w[b] + w[(a+b) % 64];
+                         b++;
+                     }}
+                     a++;
+                 }}
+                 o++;
+             }}
+             print(acc);
+             return acc % 251;
+         }}"
+    )
+}
+
+/// `art`-like: neural-net-ish scan computing dot products and a running
+/// maximum.
+fn art(passes: i32) -> String {
+    format!(
+        "global f1[128]; global f2[128];
+         global best = 0;
+         fn main() {{
+             var i = 0;
+             while (i < 128) {{ f1[i] = i * 31 % 211; f2[i] = i * 17 % 193; i++; }}
+             var p = 0;
+             while (p < {passes}) {{
+                 var dot = 0;
+                 var j = 0;
+                 while (j < 128) {{ dot = dot + f1[j] * f2[j]; j++; }}
+                 if (dot > best) {{ best = dot; }}
+                 var k = 0;
+                 while (k < 128) {{ f1[k] = (f1[k] + f2[k]) % 211; k++; }}
+                 p++;
+             }}
+             print(best);
+             return best % 251;
+         }}"
+    )
+}
+
+/// `equake`-like: indexed (sparse-ish) gathers and scatters.
+fn equake(passes: i32) -> String {
+    format!(
+        "global val[150]; global col[150]; global x[150]; global y[150];
+         fn main() {{
+             var i = 0;
+             while (i < 150) {{
+                 val[i] = i * 7 % 100 + 1;
+                 col[i] = i * 53 % 150;
+                 x[i] = i % 10;
+                 i++;
+             }}
+             var p = 0;
+             while (p < {passes}) {{
+                 var j = 0;
+                 while (j < 150) {{
+                     y[j] = y[j] + val[j] * x[col[j]];
+                     j++;
+                 }}
+                 var k = 0;
+                 while (k < 150) {{ x[k] = y[k] % 1000; k++; }}
+                 p++;
+             }}
+             var s = 0; var k = 0;
+             while (k < 150) {{ s = s + y[k]; k++; }}
+             print(s);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `ammp`-like: molecular-dynamics-ish arithmetic with counter increments
+/// everywhere (inc/dec fuel).
+fn ammp(passes: i32) -> String {
+    format!(
+        "global pos[100]; global vel[100];
+         global steps = 0; global clamps = 0;
+         fn main() {{
+             var i = 0;
+             while (i < 100) {{ pos[i] = i * 11 % 301; vel[i] = i * 5 % 17 - 8; i++; }}
+             var p = 0;
+             while (p < {passes}) {{
+                 var j = 0;
+                 while (j < 100) {{
+                     vel[j] = vel[j] + (pos[(j+1) % 100] - pos[j]) / 16;
+                     pos[j] = pos[j] + vel[j];
+                     if (pos[j] > 1000) {{ pos[j] = 1000; clamps++; }}
+                     if (pos[j] < 0) {{ pos[j] = 0; clamps++; }}
+                     steps++;
+                     j++;
+                 }}
+                 p++;
+             }}
+             print(steps);
+             print(clamps);
+             var s = 0; var k = 0;
+             while (k < 100) {{ s = s + pos[k]; k++; }}
+             return s % 251;
+         }}"
+    )
+}
+
+/// `gzip`-like: byte-stream processing with shifts, masks, and a code
+/// table, moderate branching.
+fn gzip(bytes: i32) -> String {
+    format!(
+        "global table[64]; global hist[16];
+         fn main() {{
+             var i = 0;
+             while (i < 64) {{ table[i] = (i * 2654435 + 105) % 256; i++; }}
+             var state = 12345;
+             var out = 0;
+             var n = 0;
+             while (n < {bytes}) {{
+                 state = (state * 1103515 + 12345) & 2147483647;
+                 var byte = (state >> 7) & 255;
+                 var code = table[byte & 63];
+                 if (byte > 200) {{
+                     out = out + ((code << 3) ^ byte);
+                 }} else {{
+                     if (byte & 1) {{ out = out + (code >> 2); }}
+                     else {{ out = out - code; }}
+                 }}
+                 hist[byte & 15] = hist[byte & 15] + 1;
+                 n++;
+             }}
+             print(out);
+             print(hist[3]);
+             return out % 251;
+         }}"
+    )
+}
+
+/// `vpr`-like: place-and-route-ish loops with moderate branching and
+/// arithmetic; high code reuse (the paper's friendly integer benchmark).
+fn vpr(moves: i32) -> String {
+    format!(
+        "global grid[256]; global cost = 0;
+         fn bb_cost(a, b) {{
+             var da = grid[a % 256];
+             var db = grid[b % 256];
+             return (da - db) * (a % 16 - b % 16);
+         }}
+         fn main() {{
+             var i = 0;
+             while (i < 256) {{ grid[i] = i * 37 % 64; i++; }}
+             var seed = 999;
+             var m = 0;
+             while (m < {moves}) {{
+                 seed = (seed * 1103515 + 12345) & 2147483647;
+                 var a = seed % 256;
+                 var b = (seed >> 8) % 256;
+                 var delta = bb_cost(a, b);
+                 if (delta < 0) {{
+                     var t = grid[a]; grid[a] = grid[b]; grid[b] = t;
+                     cost = cost + delta;
+                 }} else {{
+                     cost = cost + 1;
+                 }}
+                 m++;
+             }}
+             print(cost);
+             return cost % 251;
+         }}"
+    )
+}
+
+/// `gcc`-like: a large static footprint (dozens of distinct functions) each
+/// executed a handful of times — translation overhead cannot be amortized.
+fn gcc(reps: i32) -> String {
+    let mut src = String::new();
+    for i in 0..48 {
+        src.push_str(&format!(
+            "fn pass{i}(x) {{
+                 var t = x + {i};
+                 t = t * 3 - (x >> 2);
+                 if (t > 1000) {{ t = t % 1000; }}
+                 var u = t * {m} % 509;
+                 return u + x % 7;
+             }}\n",
+            m = 2 * i + 3
+        ));
+    }
+    src.push_str(&format!(
+        "fn main() {{
+             var acc = 1;
+             var r = 0;
+             while (r < {reps}) {{
+                 acc = pass0(acc); acc = pass1(acc); acc = pass2(acc); acc = pass3(acc);
+                 acc = pass4(acc); acc = pass5(acc); acc = pass6(acc); acc = pass7(acc);
+                 acc = pass8(acc); acc = pass9(acc); acc = pass10(acc); acc = pass11(acc);
+                 acc = pass12(acc); acc = pass13(acc); acc = pass14(acc); acc = pass15(acc);
+                 acc = pass16(acc); acc = pass17(acc); acc = pass18(acc); acc = pass19(acc);
+                 acc = pass20(acc); acc = pass21(acc); acc = pass22(acc); acc = pass23(acc);
+                 acc = pass24(acc); acc = pass25(acc); acc = pass26(acc); acc = pass27(acc);
+                 acc = pass28(acc); acc = pass29(acc); acc = pass30(acc); acc = pass31(acc);
+                 acc = pass32(acc); acc = pass33(acc); acc = pass34(acc); acc = pass35(acc);
+                 acc = pass36(acc); acc = pass37(acc); acc = pass38(acc); acc = pass39(acc);
+                 acc = pass40(acc); acc = pass41(acc); acc = pass42(acc); acc = pass43(acc);
+                 acc = pass44(acc); acc = pass45(acc); acc = pass46(acc); acc = pass47(acc);
+                 r++;
+             }}
+             print(acc);
+             return acc % 251;
+         }}"
+    ));
+    src
+}
+
+/// `mcf`-like: pointer chasing through a `next` array — data-dependent
+/// loads and an unpredictable loop exit.
+fn mcf(walks: i32) -> String {
+    format!(
+        "global next[512]; global weight[512];
+         fn main() {{
+             var i = 0;
+             while (i < 512) {{
+                 next[i] = (i * 167 + 41) % 512;
+                 weight[i] = i % 31 - 15;
+                 i++;
+             }}
+             var total = 0;
+             var w = 0;
+             while (w < {walks}) {{
+                 var node = w % 512;
+                 var hops = 0;
+                 var sum = 0;
+                 while (hops < 40) {{
+                     sum = sum + weight[node];
+                     node = next[node];
+                     if (sum > 100) {{ hops = 40; }}
+                     hops++;
+                 }}
+                 total = total + sum;
+                 w++;
+             }}
+             print(total);
+             return total % 251;
+         }}"
+    )
+}
+
+/// `crafty`-like: chess-engine-ish mix of switch dispatch, helper calls,
+/// and branchy evaluation — the paper's indirect-branch-hostile benchmark.
+fn crafty(nodes: i32) -> String {
+    format!(
+        "global board[64]; global evals = 0;
+         fn material(sq) {{
+             var p = board[sq % 64];
+             switch (p % 6) {{
+                 case 0 {{ return 1; }}
+                 case 1 {{ return 3; }}
+                 case 2 {{ return 3; }}
+                 case 3 {{ return 5; }}
+                 case 4 {{ return 9; }}
+                 default {{ return 0; }}
+             }}
+         }}
+         fn mobility(sq) {{
+             var m = 0;
+             var d = 1;
+             while (d <= 4) {{
+                 var t = (sq + d * 8) % 64;
+                 if (board[t] == 0) {{ m++; }}
+                 d++;
+             }}
+             return m;
+         }}
+         fn evaluate(sq) {{
+             evals++;
+             return material(sq) * 100 + mobility(sq);
+         }}
+         fn main() {{
+             var i = 0;
+             while (i < 64) {{ board[i] = i * 13 % 7; i++; }}
+             var seed = 77;
+             var best = 0;
+             var n = 0;
+             while (n < {nodes}) {{
+                 seed = (seed * 1103515 + 12345) & 2147483647;
+                 var sq = seed % 64;
+                 var score = evaluate(sq);
+                 if (score > best) {{ best = score; }}
+                 board[sq] = (board[sq] + 1) % 7;
+                 n++;
+             }}
+             print(best);
+             print(evals);
+             return best % 251;
+         }}"
+    )
+}
+
+/// `parser`-like: recursive descent over a token array.
+fn parser(sentences: i32) -> String {
+    format!(
+        "global toks[64]; global pos = 0; global parses = 0;
+         fn peek() {{ return toks[pos % 64]; }}
+         fn advance() {{ pos++; return 0; }}
+         fn factor(depth) {{
+             var t = peek();
+             advance();
+             if (depth > 0) {{
+                 if (t % 3 == 0) {{ return factor(depth - 1) + 1; }}
+             }}
+             return t % 10;
+         }}
+         fn term(depth) {{
+             var v = factor(depth);
+             if (peek() % 5 == 0) {{ advance(); v = v * factor(depth); }}
+             return v;
+         }}
+         fn sentence(depth) {{
+             var v = term(depth);
+             while (peek() % 7 == 0) {{ advance(); v = v + term(depth); }}
+             parses++;
+             return v;
+         }}
+         fn main() {{
+             var i = 0;
+             while (i < 64) {{ toks[i] = (i * 2654435 + 7) % 97; i++; }}
+             var s = 0;
+             var n = 0;
+             while (n < {sentences}) {{
+                 pos = n * 3;
+                 s = s + sentence(4);
+                 n++;
+             }}
+             print(s);
+             print(parses);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `eon`-like: ray-tracer-ish virtual dispatch through a function-pointer
+/// table in the hot loop — the inline-cache workload (§4.3's natural prey).
+fn eon(rays: i32) -> String {
+    format!(
+        "global shaders[4]; global hits = 0;
+         fn flat(x) {{ return x * 2 + 1; }}
+         fn phong(x) {{ return x * 3 - (x >> 3); }}
+         fn mirror(x) {{ return (x << 1) ^ 255; }}
+         fn glass(x) {{ return x * 5 / 3; }}
+         fn main() {{
+             shaders[0] = &flat; shaders[1] = &phong;
+             shaders[2] = &mirror; shaders[3] = &glass;
+             var seed = 31415;
+             var color = 0;
+             var r = 0;
+             while (r < {rays}) {{
+                 seed = (seed * 1103515 + 12345) & 2147483647;
+                 // Skewed distribution: shader 1 dominates, like a scene
+                 // dominated by one material.
+                 var pick = seed % 16;
+                 var s = 1;
+                 if (pick < 3) {{ s = 0; }}
+                 if (pick == 14) {{ s = 2; }}
+                 if (pick == 15) {{ s = 3; }}
+                 color = (color + icall(shaders[s], seed % 1000)) % 100000;
+                 hits++;
+                 r++;
+             }}
+             print(color);
+             print(hits);
+             return color % 251;
+         }}"
+    )
+}
+
+/// `perlbmk`-like: a bytecode interpreter with a big dense switch, run
+/// briefly over many distinct "scripts" — little code reuse per script.
+fn perlbmk(scripts: i32) -> String {
+    format!(
+        "global prog[128]; global stack[32]; global sp = 0; global ran = 0;
+         fn step(op, operand) {{
+             switch (op) {{
+                 case 0 {{ stack[sp % 32] = operand; sp++; }}
+                 case 1 {{ sp--; }}
+                 case 2 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] + operand; }}
+                 case 3 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] * 2; }}
+                 case 4 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] - operand; }}
+                 case 5 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] ^ operand; }}
+                 case 6 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] >> 1; }}
+                 case 7 {{ stack[(sp-1) % 32] = stack[(sp-1) % 32] << 1; }}
+                 default {{ ran = ran + operand; }}
+             }}
+             ran++;
+             return 0;
+         }}
+         fn main() {{
+             var s = 0;
+             while (s < {scripts}) {{
+                 // \"Compile\" a fresh script.
+                 var i = 0;
+                 while (i < 128) {{
+                     prog[i] = (i * 73 + s * 129 + 11) % 1024;
+                     i++;
+                 }}
+                 sp = 1;
+                 stack[0] = s;
+                 // Interpret it once.
+                 var pc = 0;
+                 while (pc < 128) {{
+                     var insn = prog[pc];
+                     step(insn % 9, insn / 9);
+                     pc++;
+                 }}
+                 s++;
+             }}
+             print(ran);
+             print(stack[0]);
+             return ran % 251;
+         }}"
+    )
+}
+
+/// `gap`-like: group-theory-ish modular arithmetic with helper calls.
+fn gap(iters: i32) -> String {
+    format!(
+        "global seen = 0;
+         fn mulmod(a, b, m) {{ return a * b % m; }}
+         fn powmod(b, e, m) {{
+             var r = 1;
+             var base = b % m;
+             while (e > 0) {{
+                 if (e & 1) {{ r = mulmod(r, base, m); }}
+                 base = mulmod(base, base, m);
+                 e = e >> 1;
+             }}
+             return r;
+         }}
+         fn main() {{
+             var s = 0;
+             var n = 0;
+             while (n < {iters}) {{
+                 s = (s + powmod(n % 97 + 2, 20 + n % 13, 10007)) % 100003;
+                 seen++;
+                 n++;
+             }}
+             print(s);
+             print(seen);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `vortex`-like: database-ish deep call chains per transaction (the
+/// call/return-heavy benchmark custom traces target).
+fn vortex(txns: i32) -> String {
+    format!(
+        "global db[256]; global commits = 0;
+         fn hash(k) {{ return (k * 2654435 + 971) % 256; }}
+         fn lookup(k) {{ return db[hash(k)]; }}
+         fn update(k, v) {{ db[hash(k)] = v; return v; }}
+         fn validate(v) {{ if (v < 0) {{ return 0 - v; }} return v; }}
+         fn txn(k) {{
+             var v = lookup(k);
+             v = validate(v + k % 17 - 8);
+             update(k, v);
+             commits++;
+             return v;
+         }}
+         fn main() {{
+             var i = 0;
+             while (i < 256) {{ db[i] = i * 3 % 101; i++; }}
+             var s = 0;
+             var t = 0;
+             while (t < {txns}) {{
+                 s = (s + txn(t * 7919)) % 1000003;
+                 t++;
+             }}
+             print(s);
+             print(commits);
+             return s % 251;
+         }}"
+    )
+}
+
+/// `bzip2`-like: bit-twiddling compression-ish loops.
+fn bzip2(blocks: i32) -> String {
+    format!(
+        "global buf[256]; global freq[16];
+         fn main() {{
+             var b = 0;
+             var crc = 0;
+             while (b < {blocks}) {{
+                 var i = 0;
+                 while (i < 256) {{
+                     buf[i] = (i * 131 + b * 17) & 255;
+                     i++;
+                 }}
+                 // Run-length + frequency pass.
+                 var j = 0;
+                 var run = 0;
+                 while (j < 256) {{
+                     var v = buf[j];
+                     if (v == buf[(j + 255) % 256]) {{ run++; }}
+                     else {{ run = 0; }}
+                     freq[v & 15] = freq[v & 15] + 1;
+                     crc = ((crc << 1) ^ v ^ run) & 16777215;
+                     j++;
+                 }}
+                 b++;
+             }}
+             print(crc);
+             print(freq[7]);
+             return crc % 251;
+         }}"
+    )
+}
+
+/// `twolf`-like: simulated-annealing-ish mix of loops, branches, and
+/// occasional helper calls.
+fn twolf(moves: i32) -> String {
+    format!(
+        "global cells[128]; global temp = 1000; global accepted = 0;
+         fn cost(a, b) {{
+             var d = cells[a % 128] - cells[b % 128];
+             if (d < 0) {{ d = 0 - d; }}
+             return d + (a ^ b) % 9;
+         }}
+         fn main() {{
+             var i = 0;
+             while (i < 128) {{ cells[i] = i * 59 % 97; i++; }}
+             var seed = 4242;
+             var total = 0;
+             var m = 0;
+             while (m < {moves}) {{
+                 seed = (seed * 1103515 + 12345) & 2147483647;
+                 var a = seed % 128;
+                 var b = (seed >> 9) % 128;
+                 var before = cost(a, b);
+                 var t = cells[a]; cells[a] = cells[b]; cells[b] = t;
+                 var after = cost(a, b);
+                 if (after > before + temp % 7) {{
+                     t = cells[a]; cells[a] = cells[b]; cells[b] = t;
+                 }} else {{
+                     accepted++;
+                     total = total + before - after;
+                 }}
+                 if (m % 100 == 99) {{ temp = temp * 9 / 10 + 1; }}
+                 m++;
+             }}
+             print(total);
+             print(accepted);
+             return total % 251;
+         }}"
+    )
+}
+
+/// The full suite at default (Figure 5) scales.
+///
+/// The default is 10x the unit scale: runs are long enough (5-15M simulated
+/// instructions) to amortize translation warmup the way the paper's
+/// minutes-long SPEC runs do. Tests use [`suite_scaled`] with small scales.
+pub fn suite() -> Vec<Benchmark> {
+    suite_scaled(10)
+}
+
+/// The suite with all iteration counts multiplied by `scale` (tests use
+/// small scales; benchmarks larger ones).
+pub fn suite_scaled(scale: i32) -> Vec<Benchmark> {
+    vec![
+        // SPECint-like.
+        int("gzip", "byte-stream shifts/masks, table lookups", gzip(4000 * scale)),
+        int("vpr", "loop-heavy placement moves, high reuse", vpr(4000 * scale)),
+        int(
+            "gcc",
+            "48 distinct functions, little reuse (overhead-hostile)",
+            gcc(40 * scale),
+        ),
+        int("mcf", "pointer chasing, data-dependent branches", mcf(500 * scale)),
+        int(
+            "crafty",
+            "switch dispatch + helper calls + branchy evaluation",
+            crafty(2000 * scale),
+        ),
+        int("parser", "recursive descent over token stream", parser(1200 * scale)),
+        int(
+            "eon",
+            "virtual dispatch via function-pointer table",
+            eon(3000 * scale),
+        ),
+        int(
+            "perlbmk",
+            "bytecode interpreter, fresh script per run (overhead-hostile)",
+            perlbmk(8 * scale),
+        ),
+        int("gap", "modular exponentiation with helper calls", gap(800 * scale)),
+        int("vortex", "deep call chains per transaction", vortex(2500 * scale)),
+        int("bzip2", "bit-twiddling block passes", bzip2(60 * scale)),
+        int("twolf", "annealing moves: loops + branches + calls", twolf(3000 * scale)),
+        // SPECfp-like.
+        fp("wupwise", "dense inner products (applu variant)", applu(45 * scale)),
+        fp("swim", "two-array relaxation, coefficient reloads", swim(60 * scale)),
+        fp("mgrid", "stencil smoothing, dense redundant loads", mgrid(70 * scale)),
+        fp("applu", "nested multiply-heavy loop nest", applu(40 * scale)),
+        fp("art", "dot-product scans with running max", art(80 * scale)),
+        fp("equake", "indexed sparse gathers/scatters", equake(100 * scale)),
+        fp("ammp", "dynamics steps with counter increments", ammp(90 * scale)),
+    ]
+}
+
+/// Look up one benchmark by name at the default scale.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn every_benchmark_compiles() {
+        for b in suite() {
+            compile(&b.source).unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn suite_has_both_categories() {
+        let s = suite();
+        assert!(s.iter().filter(|b| b.category == Category::Int).count() >= 10);
+        assert!(s.iter().filter(|b| b.category == Category::Fp).count() >= 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite();
+        let mut names: Vec<_> = s.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mgrid").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Instrumentation, not optimization (the abstract's "the interface is not
+//! restricted to optimization"): exact inline instruction counting, block
+//! execution profiling, and a static opcode histogram.
+
+use rio_clients::{BbProfile, InsCount, OpStats};
+use rio_core::{Options, Rio};
+use rio_sim::{run_native, CpuKind};
+use rio_workloads::{benchmark, compile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = benchmark("crafty").expect("crafty exists");
+    let image = compile(&b.source)?;
+    let native = run_native(&image, CpuKind::Pentium4);
+
+    // Exact inline counting (block-level instrumentation).
+    let mut rio = Rio::new(
+        &image,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        InsCount::new(),
+    );
+    let r = rio.run();
+    println!("inscount: {} (simulator says {})", rio.client.executed, native.counters.instructions);
+    assert_eq!(rio.client.executed, native.counters.instructions);
+
+    // Hottest blocks via clean calls.
+    let mut rio = Rio::new(
+        &image,
+        Options::with_indirect_links(),
+        CpuKind::Pentium4,
+        BbProfile::new(5),
+    );
+    let r2 = rio.run();
+    assert_eq!(r2.exit_code, r.exit_code);
+    println!("\n{}", r2.client_output.trim());
+
+    // Static opcode histogram.
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, OpStats::new());
+    let r3 = rio.run();
+    assert_eq!(r3.exit_code, r.exit_code);
+    println!("\n{}", r3.client_output.trim());
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Figure 2 of the paper: one instruction sequence at each of the five
+//! levels of representation.
+
+use rio_ia32::disasm::disassemble;
+use rio_ia32::{InstrList, Level};
+
+const FIG2: &[u8] = &[
+    0x8d, 0x34, 0x01, 0x8b, 0x46, 0x0c, 0x2b, 0x46, 0x1c, 0x0f, 0xb7, 0x4e, 0x08, 0xc1, 0xe1,
+    0x07, 0x3b, 0xc1, 0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00,
+];
+const PC: u32 = 0x77f5_17af;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Level 0: raw byte bundle, final boundary recorded");
+    let il = InstrList::decode_block(FIG2, PC, Level::L0)?;
+    for i in il.iter() {
+        println!("  {i}");
+    }
+
+    println!("\nLevel 1: one Instr per instruction, raw bits only");
+    let il = InstrList::decode_block(FIG2, PC, Level::L1)?;
+    for i in il.iter() {
+        println!("  {i}");
+    }
+
+    println!("\nLevel 2: opcode + eflags effect");
+    let il = InstrList::decode_block(FIG2, PC, Level::L2)?;
+    for i in il.iter() {
+        println!("  {i}");
+    }
+
+    println!("\nLevel 3: fully decoded (raw bits still valid)");
+    for line in disassemble(FIG2, PC)? {
+        println!("  {:24} {:<34} {}", line.raw, line.text, line.eflags);
+    }
+
+    println!("\nLevel 4: fully decoded, raw bits invalidated (must re-encode)");
+    let mut il = InstrList::decode_block(FIG2, PC, Level::L3)?;
+    let ids: Vec<_> = il.ids().collect();
+    for id in ids {
+        il.get_mut(id).invalidate_raw();
+    }
+    for i in il.iter() {
+        println!("  {i}  [level {:?}]", i.level());
+    }
+    Ok(())
+}

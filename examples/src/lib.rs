@@ -1,0 +1,17 @@
+//! # rio-examples — runnable demonstrations of the RIO public API
+//!
+//! Run any example with `cargo run --release -p rio-examples --example
+//! <name>`:
+//!
+//! * `quickstart` — compile a tiny program, run it natively and under RIO,
+//!   compare results and statistics.
+//! * `levels_demo` — Figure 2 of the paper: the same instruction bytes at
+//!   all five levels of representation.
+//! * `strength_reduce` — the §4.2 client on Pentium 3 vs Pentium 4 models
+//!   (architecture-specific optimization decided at runtime).
+//! * `adaptive_dispatch` — the §4.3 client rewriting its own traces from a
+//!   profiling clean call.
+//! * `custom_traces` — the §4.4 client inlining whole procedure calls and
+//!   eliding returns.
+//! * `instruction_profile` — instrumentation clients: block profiling and
+//!   opcode statistics.

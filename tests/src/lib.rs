@@ -1,0 +1,16 @@
+//! # rio-tests — cross-crate integration tests
+//!
+//! This crate exists for its `tests/` directory: whole-system properties
+//! spanning every crate in the workspace.
+//!
+//! * `suite_equivalence` — every benchmark × every client × every engine
+//!   configuration produces exactly the native execution's results.
+//! * `properties` — proptest round-trips over the instruction
+//!   representation and `InstrList` invariants.
+//! * `pipeline` — random expression programs agree three ways: Rust
+//!   reference evaluator, native simulation, full RIO stack.
+//! * `program_fuzz` — random *structured* programs (loops, switches, calls,
+//!   indirect calls) under the combined client and cache-flush churn.
+//! * `engine_edges` — rare translation paths: jecxz exits, `ret n`, carry
+//!   chains, flag save/restore, deep recursion, one-instruction blocks.
+//! * `threads` — cooperative multithreading with thread-private caches.

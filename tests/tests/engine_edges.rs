@@ -1,0 +1,202 @@
+//! Engine edge cases: unusual application code shapes that exercise rarely
+//! taken translation paths (jecxz exits, `ret n`, 8-bit/carry arithmetic,
+//! flag save/restore, deep recursion, tiny block splits).
+
+use rio_core::{NullClient, Options, Rio};
+use rio_ia32::encode::encode_list;
+use rio_ia32::{create, Cc, InstrList, MemRef, Opnd, OpSize, Reg, Target};
+use rio_sim::{run_native, CpuKind, Image};
+
+fn image(build: impl FnOnce(&mut InstrList)) -> Image {
+    let mut il = InstrList::new();
+    build(&mut il);
+    Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+}
+
+fn exit_with(il: &mut InstrList, reg: Reg) {
+    if reg != Reg::Ebx {
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::reg(reg)));
+    }
+    il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+    il.push_back(create::int(0x80));
+}
+
+fn assert_equivalent(img: &Image) {
+    let native = run_native(img, CpuKind::Pentium4);
+    for opts in [Options::cache_only(), Options::full()] {
+        let mut rio = Rio::new(img, opts, CpuKind::Pentium4, NullClient);
+        let r = rio.run();
+        assert_eq!(r.exit_code, native.exit_code, "opts {opts:?}");
+        assert_eq!(r.app_output, native.output, "opts {opts:?}");
+    }
+}
+
+#[test]
+fn jecxz_terminated_blocks_translate_via_trampolines() {
+    // Application code whose loop exit is a jecxz — the exit cannot encode
+    // a rel32 target, so emission must route it through a trampoline.
+    let img = image(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Ecx), Opnd::imm32(500)));
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::imm32(3)));
+        il.push_back(create::dec(Opnd::reg(Reg::Ecx)));
+        let out = il.push_back(create::jecxz(Target::Pc(0)));
+        let mut back = create::jmp(Target::Pc(0));
+        back.set_target(Target::Instr(top));
+        il.push_back(back);
+        let done = il.push_back(create::label());
+        il.get_mut(out).set_target(Target::Instr(done));
+        exit_with(il, Reg::Edi);
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(native.exit_code, 1500);
+    assert_equivalent(&img);
+}
+
+#[test]
+fn ret_n_calling_convention() {
+    // Callee pops its own argument with `ret 4` (stdcall-style).
+    let img = image(|il| {
+        il.push_back(create::push(Opnd::imm32(20)));
+        let c = il.push_back(create::call(Target::Pc(0)));
+        // No caller cleanup: ret 4 already popped the arg.
+        exit_with(il, Reg::Eax);
+        let f = il.push_back(create::label());
+        il.push_back(create::mov(
+            Opnd::reg(Reg::Eax),
+            Opnd::Mem(MemRef::base_disp(Reg::Esp, 4, OpSize::S32)),
+        ));
+        il.push_back(create::imul3(Reg::Eax, Opnd::reg(Reg::Eax), Opnd::imm32(2)));
+        il.push_back(create::ret_imm(4));
+        il.get_mut(c).set_target(Target::Instr(f));
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(native.exit_code, 40);
+    assert_equivalent(&img);
+}
+
+#[test]
+fn carry_chains_and_eight_bit_arithmetic_survive_translation() {
+    let img = image(|il| {
+        // 64-bit-ish addition via adc, then 8-bit register juggling.
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(-1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Edx), Opnd::imm32(0)));
+        il.push_back(create::add(Opnd::reg(Reg::Eax), Opnd::imm32(1))); // CF=1
+        il.push_back(create::adc(Opnd::reg(Reg::Edx), Opnd::imm32(0))); // edx=1
+        il.push_back(create::mov(Opnd::reg(Reg::Cl), Opnd::imm8(200u8 as i8)));
+        il.push_back(create::add(Opnd::reg(Reg::Cl), Opnd::imm8(100))); // 8-bit wrap
+        il.push_back(create::movzx(Reg::Esi, Opnd::reg(Reg::Cl)));
+        // ebx = edx*1000 + cl
+        il.push_back(create::imul3(Reg::Ebx, Opnd::reg(Reg::Edx), Opnd::imm32(1000)));
+        il.push_back(create::add(Opnd::reg(Reg::Ebx), Opnd::reg(Reg::Esi)));
+        exit_with(il, Reg::Ebx);
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(native.exit_code, 1000 + ((200 + 100) & 0xFF));
+    assert_equivalent(&img);
+}
+
+#[test]
+fn pushfd_popfd_lahf_sahf_through_the_cache() {
+    let img = image(|il| {
+        il.push_back(create::cmp(Opnd::reg(Reg::Eax), Opnd::reg(Reg::Eax))); // ZF=1
+        il.push_back(create::pushfd());
+        il.push_back(create::add(Opnd::reg(Reg::Ebx), Opnd::imm32(1))); // ZF=0
+        il.push_back(create::popfd()); // ZF back to 1
+        il.push_back(create::setcc(Cc::Z, Opnd::reg(Reg::Cl)));
+        il.push_back(create::lahf());
+        il.push_back(create::movzx(Reg::Edx, Opnd::reg(Reg::Ah)));
+        il.push_back(create::movzx(Reg::Ebx, Opnd::reg(Reg::Cl)));
+        exit_with(il, Reg::Ebx);
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(native.exit_code, 1);
+    assert_equivalent(&img);
+}
+
+#[test]
+fn deep_recursion_under_translation() {
+    let img = rio_workloads::compile(
+        "fn ack_ish(n, acc) {
+             if (n == 0) { return acc; }
+             return ack_ish(n - 1, acc + n);
+         }
+         fn main() { return ack_ish(800, 0) % 251; }",
+    )
+    .unwrap();
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(native.exit_code, (800 * 801 / 2) % 251);
+    assert_equivalent(&img);
+}
+
+#[test]
+fn tiny_block_splits_are_correct() {
+    // Force one-instruction blocks: every block gets a synthetic
+    // fall-through exit, stressing the split path.
+    let img = rio_workloads::compile(
+        "fn main() {
+             var s = 0;
+             var i = 0;
+             while (i < 300) { s = s + i * 2 + 1; i++; }
+             return s % 251;
+         }",
+    )
+    .unwrap();
+    let native = run_native(&img, CpuKind::Pentium4);
+    for max in [1usize, 2, 3] {
+        let mut opts = Options::full();
+        opts.max_bb_instrs = max;
+        let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, NullClient);
+        let r = rio.run();
+        assert_eq!(r.exit_code, native.exit_code, "max_bb_instrs {max}");
+    }
+}
+
+#[test]
+fn new_isa_instructions_translate_correctly() {
+    let img = image(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0x0102_0304)));
+        il.push_back(create::bswap(Reg::Eax));
+        il.push_back(create::rol(Opnd::reg(Reg::Eax), Opnd::imm8(8)));
+        il.push_back(create::bt(Opnd::reg(Reg::Eax), Opnd::imm8(1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(111)));
+        il.push_back(create::cmov(Cc::B, Reg::Ecx, Opnd::reg(Reg::Ebx))); // CF from bt
+        il.push_back(create::xchg(Opnd::reg(Reg::Ecx), Opnd::reg(Reg::Edi)));
+        exit_with(il, Reg::Edi);
+    });
+    let native = run_native(&img, CpuKind::Pentium4);
+    // bswap(0x01020304)=0x04030201, rol 8 -> 0x03020104, bit1 = 0 -> cmov not taken
+    assert_eq!(native.exit_code, 0);
+    assert_equivalent(&img);
+}
+
+#[test]
+fn indirect_jump_with_changing_targets_in_traces() {
+    // A jump table whose hot target changes midway through the run: traces
+    // built for the first phase must keep working via their miss paths.
+    let img = rio_workloads::compile(
+        "global acc = 0;
+         fn main() {
+             var i = 0;
+             while (i < 4000) {
+                 var phase = i / 2000;       // 0 then 1
+                 switch ((i % 4) + phase * 4) {
+                     case 0 { acc = acc + 1; }
+                     case 1 { acc = acc + 2; }
+                     case 2 { acc = acc + 3; }
+                     case 3 { acc = acc + 4; }
+                     case 4 { acc = acc + 10; }
+                     case 5 { acc = acc + 20; }
+                     case 6 { acc = acc + 30; }
+                     case 7 { acc = acc + 40; }
+                 }
+                 i++;
+             }
+             print(acc);
+             return acc % 251;
+         }",
+    )
+    .unwrap();
+    assert_equivalent(&img);
+}

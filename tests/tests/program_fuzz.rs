@@ -1,0 +1,199 @@
+//! Structured program fuzzing: randomly generated Dyna programs (loops,
+//! branches, switches, calls, arrays, indirect calls) must behave
+//! identically natively and under the engine with the full optimization
+//! stack — the strongest whole-system property we can check.
+
+use proptest::prelude::*;
+use rio_bench::{run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::{run_native, CpuKind};
+use rio_workloads::compile;
+
+/// A bounded random statement tree, rendered to Dyna source. Variables are
+/// drawn from a fixed pool (`v0..v3` locals, `g0..g1` globals, array `arr`);
+/// all loops are bounded counters, and division is never generated, so every
+/// program terminates without traps.
+#[derive(Clone, Debug)]
+enum S {
+    Assign(u8, E),
+    Bump(u8, bool),
+    Store(E, E),
+    Loop(u8, Vec<S>),
+    If(E, Vec<S>, Vec<S>),
+    Switch(E, Vec<Vec<S>>),
+    CallHelper(E),
+    Print(E),
+}
+
+#[derive(Clone, Debug)]
+enum E {
+    K(i32),
+    V(u8),
+    G(u8),
+    Load(Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Mask(Box<E>),
+    Cmp(Box<E>, Box<E>),
+    Helper(Box<E>),
+    IHelper(Box<E>),
+}
+
+impl E {
+    fn src(&self) -> String {
+        match self {
+            E::K(k) => format!("({k})"),
+            E::V(i) => format!("v{}", i % 4),
+            E::G(i) => format!("g{}", i % 2),
+            E::Load(i) => format!("arr[({}) & 31]", i.src()),
+            E::Add(a, b) => format!("({} + {})", a.src(), b.src()),
+            E::Sub(a, b) => format!("({} - {})", a.src(), b.src()),
+            E::Mul(a, b) => format!("({} * {})", a.src(), b.src()),
+            E::Mask(a) => format!("({} & 65535)", a.src()),
+            E::Cmp(a, b) => format!("({} < {})", a.src(), b.src()),
+            E::Helper(a) => format!("helper({})", a.src()),
+            E::IHelper(a) => format!("icall(hptr, {})", a.src()),
+        }
+    }
+}
+
+impl S {
+    fn src(&self, out: &mut String, depth: usize) {
+        let pad = "    ".repeat(depth + 1);
+        match self {
+            S::Assign(v, e) => out.push_str(&format!("{pad}v{} = {};\n", v % 4, e.src())),
+            S::Bump(v, up) => {
+                out.push_str(&format!("{pad}v{}{};\n", v % 4, if *up { "++" } else { "--" }))
+            }
+            S::Store(i, e) => {
+                out.push_str(&format!("{pad}arr[({}) & 31] = {};\n", i.src(), e.src()))
+            }
+            S::Loop(n, body) => {
+                let var = format!("l{depth}");
+                out.push_str(&format!("{pad}var {var} = 0;\n"));
+                out.push_str(&format!("{pad}while ({var} < {}) {{\n", n % 6 + 1));
+                for s in body {
+                    s.src(out, depth + 1);
+                }
+                out.push_str(&format!("{pad}    {var}++;\n{pad}}}\n"));
+            }
+            S::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", c.src()));
+                for s in t {
+                    s.src(out, depth + 1);
+                }
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in e {
+                    s.src(out, depth + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::Switch(e, cases) => {
+                out.push_str(&format!("{pad}switch (({}) & 3) {{\n", e.src()));
+                for (k, body) in cases.iter().enumerate() {
+                    out.push_str(&format!("{pad}    case {k} {{\n"));
+                    for s in body {
+                        s.src(out, depth + 2);
+                    }
+                    out.push_str(&format!("{pad}    }}\n"));
+                }
+                out.push_str(&format!("{pad}    default {{ g0 = g0 + 1; }}\n{pad}}}\n"));
+            }
+            S::CallHelper(e) => out.push_str(&format!("{pad}g1 = helper({});\n", e.src())),
+            S::Print(e) => out.push_str(&format!("{pad}print({} & 4095);\n", e.src())),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(E::K),
+        (0u8..4).prop_map(E::V),
+        (0u8..2).prop_map(E::G),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mul(Box::new(E::Mask(Box::new(a))), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Cmp(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Load(Box::new(a))),
+            inner.clone().prop_map(|a| E::Helper(Box::new(a))),
+            inner.clone().prop_map(|a| E::IHelper(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
+    let simple = prop_oneof![
+        (0u8..4, arb_expr()).prop_map(|(v, e)| S::Assign(v, e)),
+        (0u8..4, any::<bool>()).prop_map(|(v, up)| S::Bump(v, up)),
+        (arb_expr(), arb_expr()).prop_map(|(i, e)| S::Store(i, e)),
+        arb_expr().prop_map(S::CallHelper),
+        arb_expr().prop_map(S::Print),
+    ];
+    if depth == 0 {
+        simple.boxed()
+    } else {
+        let body = prop::collection::vec(arb_stmt(depth - 1), 1..4);
+        prop_oneof![
+            4 => simple,
+            1 => (0u8..6, body.clone()).prop_map(|(n, b)| S::Loop(n, b)),
+            1 => (arb_expr(), body.clone(), body.clone()).prop_map(|(c, t, e)| S::If(c, t, e)),
+            1 => (arb_expr(), prop::collection::vec(body, 4..5))
+                .prop_map(|(e, cases)| S::Switch(e, cases)),
+        ]
+        .boxed()
+    }
+}
+
+fn render(stmts: &[S]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        s.src(&mut body, 0);
+    }
+    format!(
+        "global g0 = 3; global g1 = 5; global arr[32]; global hptr = 0;
+         fn helper(x) {{ return (x & 16383) * 3 - g0; }}
+         fn main() {{
+             hptr = &helper;
+             var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 4;
+             var seed = 0;
+             var i = 0;
+             while (i < 32) {{ arr[i] = i * 7 - 20; i++; }}
+{body}
+             var chk = (v0 ^ v1) + (v2 ^ v3) + g0 + g1;
+             i = 0;
+             while (i < 32) {{ chk = chk + arr[i]; i++; }}
+             print(chk & 1048575);
+             return chk % 251;
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_programs_behave_identically_under_the_full_stack(
+        stmts in prop::collection::vec(arb_stmt(2), 2..8)
+    ) {
+        let src = render(&stmts);
+        let image = compile(&src)
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
+        let native = run_native(&image, CpuKind::Pentium4);
+        for client in [ClientKind::Null, ClientKind::Combined] {
+            let r = run_config(&image, Options::full(), CpuKind::Pentium4, client);
+            prop_assert_eq!(r.exit_code, native.exit_code, "{:?}\n{}", client, src);
+            prop_assert_eq!(&r.output, &native.output, "{:?}\n{}", client, src);
+        }
+        // And under a tiny cache (flush churn).
+        let mut opts = Options::full();
+        opts.cache_limit = Some(2048);
+        let r = run_config(&image, opts, CpuKind::Pentium4, ClientKind::Combined);
+        prop_assert_eq!(r.exit_code, native.exit_code, "flushing\n{}", src);
+        prop_assert_eq!(&r.output, &native.output, "flushing\n{}", src);
+    }
+}

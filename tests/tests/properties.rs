@@ -1,0 +1,212 @@
+//! Property-based tests over the instruction-representation core and the
+//! full compile-and-execute pipeline.
+
+use proptest::prelude::*;
+use rio_ia32::encode::encode_list;
+use rio_ia32::{
+    create, decode_instr, decode_sizeof, encode_instr, Cc, InstrList, Level, MemRef, Opnd, OpSize,
+    Reg,
+};
+
+fn arb_reg32() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::GPR32.to_vec())
+}
+
+fn arb_memref() -> impl Strategy<Value = MemRef> {
+    (
+        prop::option::of(arb_reg32()),
+        prop::option::of(arb_reg32().prop_filter("esp cannot index", |r| *r != Reg::Esp)),
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, scale, disp)| MemRef {
+            base,
+            index,
+            // Scale is meaningless without an index; IA-32 cannot encode it.
+            scale: if index.is_some() { scale } else { 1 },
+            disp,
+            size: OpSize::S32,
+        })
+}
+
+fn arb_rm() -> impl Strategy<Value = Opnd> {
+    prop_oneof![
+        arb_reg32().prop_map(Opnd::Reg),
+        arb_memref().prop_map(Opnd::Mem),
+    ]
+}
+
+/// A synthesized instruction whose encoding must round-trip.
+fn arb_instr() -> impl Strategy<Value = rio_ia32::Instr> {
+    prop_oneof![
+        // mov r/m <- reg, reg <- r/m, r/m <- imm
+        (arb_rm(), arb_reg32()).prop_map(|(d, s)| create::mov(d, Opnd::Reg(s))),
+        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::mov(Opnd::Reg(d), s)),
+        (arb_rm(), any::<i32>()).prop_map(|(d, v)| create::mov(d, Opnd::imm32(v))),
+        // group-1 arithmetic, all operand shapes
+        (arb_rm(), arb_reg32()).prop_map(|(d, s)| create::add(d, Opnd::Reg(s))),
+        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::sub(Opnd::Reg(d), s)),
+        (arb_rm(), any::<i32>()).prop_map(|(d, v)| create::and(d, Opnd::imm32(v))),
+        (arb_rm(), any::<i32>()).prop_map(|(a, v)| create::cmp(a, Opnd::imm32(v))),
+        (arb_rm(), arb_reg32()).prop_map(|(a, b)| create::test(a, Opnd::Reg(b))),
+        // inc/dec/neg/not
+        arb_rm().prop_map(create::inc),
+        arb_rm().prop_map(create::dec),
+        arb_rm().prop_map(create::neg),
+        arb_rm().prop_map(create::not),
+        // shifts
+        (arb_rm(), 0u8..32).prop_map(|(d, c)| create::shl(d, Opnd::imm8(c as i8))),
+        (arb_reg32(), 0u8..32).prop_map(|(d, c)| create::sar(Opnd::Reg(d), Opnd::imm8(c as i8))),
+        // multiplies
+        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::imul(d, s)),
+        (arb_reg32(), arb_rm(), any::<i32>())
+            .prop_map(|(d, s, v)| create::imul3(d, s, Opnd::imm32(v))),
+        arb_rm().prop_map(create::idiv),
+        // stack
+        arb_reg32().prop_map(|r| create::push(Opnd::Reg(r))),
+        arb_reg32().prop_map(|r| create::pop(Opnd::Reg(r))),
+        any::<i32>().prop_map(|v| create::push(Opnd::imm32(v))),
+        // misc
+        (0u8..16, arb_reg32()).prop_map(|(cc, _)| create::setcc(
+            Cc::from_code(cc),
+            Opnd::reg(Reg::Al)
+        )),
+        (arb_reg32(), arb_memref()).prop_map(|(d, m)| create::lea(d, m)),
+        (0u8..16, arb_reg32(), arb_rm()).prop_map(|(cc, d, s)| create::cmov(
+            Cc::from_code(cc),
+            d,
+            s
+        )),
+        (arb_rm(), 1u8..32).prop_map(|(d, c)| create::rol(d, Opnd::imm8(c as i8))),
+        (arb_rm(), 1u8..32).prop_map(|(d, c)| create::ror(d, Opnd::imm8(c as i8))),
+        (arb_rm(), arb_reg32()).prop_map(|(a, b)| create::bt(a, Opnd::Reg(b))),
+        arb_reg32().prop_map(create::bswap),
+        Just(create::nop()),
+        Just(create::cdq()),
+        Just(create::ret()),
+    ]
+}
+
+proptest! {
+    /// Synthesized instruction -> encode -> decode yields identical
+    /// opcode and operands.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let bytes = match encode_instr(&instr, 0x1000, &|_| None) {
+            Ok(b) => b,
+            // Unencodable operand combinations (e.g. %esp index through
+            // arb_memref filtering gaps) are allowed to be rejected, never
+            // to panic.
+            Err(_) => return Ok(()),
+        };
+        let (decoded, len) = decode_instr(&bytes, 0x1000).expect("own encodings decode");
+        prop_assert_eq!(len as usize, bytes.len());
+        prop_assert_eq!(decoded.opcode(), instr.opcode());
+        prop_assert_eq!(decoded.srcs(), instr.srcs());
+        prop_assert_eq!(decoded.dsts(), instr.dsts());
+    }
+
+    /// decode_sizeof always agrees with the full decoder's length.
+    #[test]
+    fn sizeof_agrees_with_full_decode(bytes in prop::collection::vec(any::<u8>(), 1..16)) {
+        let size = decode_sizeof(&bytes);
+        let full = decode_instr(&bytes, 0);
+        match (size, full) {
+            (Ok(n), Ok((_, m))) => prop_assert_eq!(n, m),
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
+                // The strategies must fail identically.
+                prop_assert!(false, "sizeof/full decode disagree on {:02x?}", bytes);
+            }
+        }
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = decode_sizeof(&bytes);
+        let _ = decode_instr(&bytes, 0x1234);
+    }
+
+    /// Blocks decoded at any level re-encode to semantically identical code:
+    /// the re-encoded bytes decode to the same instruction sequence.
+    #[test]
+    fn block_level_round_trip(instrs in prop::collection::vec(arb_instr(), 1..12)) {
+        // Build a block from the synthesized instructions (drop rets to keep
+        // it a straight line, then terminate).
+        let mut il = InstrList::new();
+        for i in instrs {
+            if i.opcode() == Some(rio_ia32::Opcode::Ret) {
+                continue;
+            }
+            il.push_back(i);
+        }
+        il.push_back(create::ret());
+        let bytes = match encode_list(&il, 0x40_0000) {
+            Ok(e) => e.bytes,
+            Err(_) => return Ok(()),
+        };
+        for level in [Level::L0, Level::L1, Level::L2, Level::L3] {
+            let redecoded = InstrList::decode_block(&bytes, 0x40_0000, level)
+                .expect("own encodings decode at every level");
+            let reencoded = encode_list(&redecoded, 0x40_0000).expect("re-encodes");
+            prop_assert_eq!(
+                &reencoded.bytes,
+                &bytes,
+                "level {:?} changed the code",
+                level
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// InstrList structural invariants under arbitrary edit sequences.
+    #[test]
+    fn instr_list_invariants(ops in prop::collection::vec(0u8..5, 1..60)) {
+        let mut il = InstrList::new();
+        let mut ids: Vec<rio_ia32::InstrId> = Vec::new();
+        let mut expected_len = 0usize;
+        for op in ops {
+            match op {
+                0 => {
+                    ids.push(il.push_back(create::nop()));
+                    expected_len += 1;
+                }
+                1 => {
+                    ids.push(il.push_front(create::inc(Opnd::reg(Reg::Eax))));
+                    expected_len += 1;
+                }
+                2 if !ids.is_empty() => {
+                    let id = ids.remove(ids.len() / 2);
+                    il.remove(id);
+                    expected_len -= 1;
+                }
+                3 if !ids.is_empty() => {
+                    let id = ids[ids.len() / 2];
+                    il.replace(id, create::dec(Opnd::reg(Reg::Ebx)));
+                }
+                4 if !ids.is_empty() => {
+                    let at = ids[ids.len() / 2];
+                    ids.push(il.insert_after(at, create::nop()));
+                    expected_len += 1;
+                }
+                _ => {}
+            }
+            prop_assert_eq!(il.len(), expected_len);
+            // Forward and backward traversals agree.
+            let fwd: Vec<_> = il.ids().collect();
+            prop_assert_eq!(fwd.len(), expected_len);
+            let mut back = Vec::new();
+            let mut cur = il.last_id();
+            while let Some(id) = cur {
+                back.push(id);
+                cur = il.prev_id(id);
+            }
+            back.reverse();
+            prop_assert_eq!(fwd, back);
+        }
+    }
+}

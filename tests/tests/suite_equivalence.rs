@@ -1,0 +1,92 @@
+//! The correctness capstone: every benchmark in the suite, executed under
+//! every client and every engine configuration, must produce *exactly* the
+//! exit code and output of native execution.
+
+use rio_bench::{run_config, ClientKind};
+use rio_core::Options;
+use rio_sim::{run_native, CpuKind};
+use rio_workloads::{suite_scaled, Benchmark};
+
+fn check(b: &Benchmark, options: Options, client: ClientKind) {
+    let image = rio_workloads::compile(&b.source)
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+    let native = run_native(&image, CpuKind::Pentium4);
+    let r = run_config(&image, options, CpuKind::Pentium4, client);
+    assert_eq!(
+        r.exit_code, native.exit_code,
+        "{} exit code diverged under {client:?} / {options:?}",
+        b.name
+    );
+    assert_eq!(
+        r.output, native.output,
+        "{} output diverged under {client:?} / {options:?}",
+        b.name
+    );
+}
+
+#[test]
+fn all_benchmarks_match_native_under_every_client() {
+    for b in suite_scaled(1) {
+        for client in ClientKind::FIGURE5 {
+            check(&b, Options::full(), client);
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_match_native_under_every_engine_configuration() {
+    for b in suite_scaled(1) {
+        for options in [
+            Options::cache_only(),
+            Options::with_direct_links(),
+            Options::with_indirect_links(),
+            Options::full(),
+        ] {
+            check(&b, options, ClientKind::Null);
+        }
+    }
+}
+
+#[test]
+fn emulation_matches_native_on_representative_benchmarks() {
+    // Emulation is slow on the host too; spot-check the Table 1 pair.
+    for name in ["crafty", "vpr"] {
+        let b = rio_workloads::benchmark(name).unwrap();
+        let small = rio_workloads::suite_scaled(1)
+            .into_iter()
+            .find(|x| x.name == b.name)
+            .unwrap();
+        check(&small, Options::emulation(), ClientKind::Null);
+    }
+}
+
+#[test]
+fn trace_threshold_extremes_preserve_correctness() {
+    for b in suite_scaled(1).into_iter().take(4) {
+        for threshold in [1, 2, 1_000_000] {
+            let mut opts = Options::full();
+            opts.trace_threshold = threshold;
+            check(&b, opts, ClientKind::Combined);
+        }
+    }
+}
+
+#[test]
+fn tiny_trace_capacity_preserves_correctness() {
+    for b in suite_scaled(1).into_iter().take(4) {
+        let mut opts = Options::full();
+        opts.max_trace_bbs = 2;
+        check(&b, opts, ClientKind::Combined);
+    }
+}
+
+#[test]
+fn pentium3_model_preserves_correctness() {
+    for b in suite_scaled(1).into_iter().take(6) {
+        let image = rio_workloads::compile(&b.source).unwrap();
+        let native = run_native(&image, CpuKind::Pentium3);
+        let r = run_config(&image, Options::full(), CpuKind::Pentium3, ClientKind::Combined);
+        assert_eq!(r.exit_code, native.exit_code, "{}", b.name);
+        assert_eq!(r.output, native.output, "{}", b.name);
+    }
+}
