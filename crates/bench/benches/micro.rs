@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks for the performance-critical primitives the
-//! paper's design revolves around: multi-strategy decoding (Table 2's time
-//! column as statistically rigorous measurements), raw-bit vs template
-//! encoding, basic-block construction, and whole-program engine throughput.
+//! Micro-benchmarks for the performance-critical primitives the paper's
+//! design revolves around: multi-strategy decoding (Table 2's time column),
+//! raw-bit vs template encoding, basic-block construction, and whole-program
+//! engine throughput.
+//!
+//! Self-contained timing harness (`harness = false`): each benchmark is
+//! warmed up, then run for a fixed number of batches and reported as
+//! median ns/iteration. Run with `cargo bench -p rio-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use rio_core::{NullClient, Options, Rio};
 use rio_ia32::encode::encode_list;
 use rio_ia32::{decode_instr, decode_opcode, decode_sizeof, InstrList, Level};
@@ -12,75 +17,85 @@ use rio_workloads::compile;
 
 /// The Figure 2 block: seven instructions of mixed complexity.
 const FIG2: &[u8] = &[
-    0x8d, 0x34, 0x01, 0x8b, 0x46, 0x0c, 0x2b, 0x46, 0x1c, 0x0f, 0xb7, 0x4e, 0x08, 0xc1, 0xe1,
-    0x07, 0x3b, 0xc1, 0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00,
+    0x8d, 0x34, 0x01, 0x8b, 0x46, 0x0c, 0x2b, 0x46, 0x1c, 0x0f, 0xb7, 0x4e, 0x08, 0xc1, 0xe1, 0x07,
+    0x3b, 0xc1, 0x0f, 0x8d, 0xa2, 0x0a, 0x00, 0x00,
 ];
 
-fn bench_decode_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decode");
-    g.bench_function("sizeof (L0/L1 boundary scan)", |b| {
-        b.iter(|| {
-            let mut off = 0usize;
-            while off < FIG2.len() {
-                off += decode_sizeof(std::hint::black_box(&FIG2[off..])).unwrap() as usize;
-            }
-            off
-        })
-    });
-    g.bench_function("opcode (L2)", |b| {
-        b.iter(|| {
-            let mut off = 0usize;
-            while off < FIG2.len() {
-                let (op, len) = decode_opcode(std::hint::black_box(&FIG2[off..])).unwrap();
-                std::hint::black_box(op);
-                off += len as usize;
-            }
-            off
-        })
-    });
-    g.bench_function("full (L3)", |b| {
-        b.iter(|| {
-            let mut off = 0usize;
-            while off < FIG2.len() {
-                let (i, len) = decode_instr(std::hint::black_box(&FIG2[off..]), 0x1000).unwrap();
-                std::hint::black_box(i.srcs().len());
-                off += len as usize;
-            }
-            off
-        })
-    });
-    g.finish();
+/// Time `f` over `batches` batches of `iters` calls each; print the median
+/// per-iteration time.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // Warm-up.
+    for _ in 0..iters.min(100) {
+        std::hint::black_box(f());
+    }
+    let batches = 15;
+    let mut per_iter = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[batches / 2];
+    println!("{name:<44} {median:>12.1} ns/iter");
 }
 
-fn bench_decode_encode_levels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decode_encode_block");
+fn bench_decode_strategies() {
+    println!("-- decode strategies (Figure 2 block) --");
+    bench("decode/sizeof (L0/L1 boundary scan)", 10_000, || {
+        let mut off = 0usize;
+        while off < FIG2.len() {
+            off += decode_sizeof(std::hint::black_box(&FIG2[off..])).unwrap() as usize;
+        }
+        off
+    });
+    bench("decode/opcode (L2)", 10_000, || {
+        let mut off = 0usize;
+        while off < FIG2.len() {
+            let (op, len) = decode_opcode(std::hint::black_box(&FIG2[off..])).unwrap();
+            std::hint::black_box(op);
+            off += len as usize;
+        }
+        off
+    });
+    bench("decode/full (L3)", 10_000, || {
+        let mut off = 0usize;
+        while off < FIG2.len() {
+            let (i, len) = decode_instr(std::hint::black_box(&FIG2[off..]), 0x1000).unwrap();
+            std::hint::black_box(i.srcs().len());
+            off += len as usize;
+        }
+        off
+    });
+}
+
+fn bench_decode_encode_levels() {
+    println!("-- decode+encode round trip by level --");
     for level in [Level::L0, Level::L1, Level::L2, Level::L3] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{level:?}")),
-            &level,
-            |b, level| {
-                b.iter(|| {
-                    let il = InstrList::decode_block(FIG2, 0x1000, *level).unwrap();
-                    encode_list(&il, 0x1000).unwrap().bytes.len()
-                })
+        bench(
+            &format!("decode_encode_block/{level:?}"),
+            5_000,
+            move || {
+                let il = InstrList::decode_block(FIG2, 0x1000, level).unwrap();
+                encode_list(&il, 0x1000).unwrap().bytes.len()
             },
         );
     }
     // Level 4: full decode + invalidation -> full re-encode.
-    g.bench_function("L4", |b| {
-        b.iter(|| {
-            let mut il = InstrList::decode_block(FIG2, 0x1000, Level::L3).unwrap();
-            let ids: Vec<_> = il.ids().collect();
-            for id in ids {
-                il.get_mut(id).invalidate_raw();
-            }
-            encode_list(&il, 0x1000).unwrap().bytes.len()
-        })
+    bench("decode_encode_block/L4", 5_000, || {
+        let mut il = InstrList::decode_block(FIG2, 0x1000, Level::L3).unwrap();
+        let ids: Vec<_> = il.ids().collect();
+        for id in ids {
+            il.get_mut(id).invalidate_raw();
+        }
+        encode_list(&il, 0x1000).unwrap().bytes.len()
     });
-    g.finish();
 }
 
-fn bench_engine_end_to_end(c: &mut Criterion) {
+fn bench_engine_end_to_end() {
+    println!("-- whole-engine throughput --");
     // A small hot program: host-side cost of the whole engine pipeline
     // (build, link, trace, execute).
     let image = compile(
@@ -91,21 +106,17 @@ fn bench_engine_end_to_end(c: &mut Criterion) {
          }",
     )
     .unwrap();
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
-    g.bench_function("hot_loop_full_system", |b| {
-        b.iter(|| {
-            let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
-            rio.run().exit_code
-        })
+    bench("engine/hot_loop_full_system", 20, || {
+        let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+        rio.run().exit_code
     });
-    g.bench_function("hot_loop_native_sim", |b| {
-        b.iter(|| rio_sim::run_native(&image, CpuKind::Pentium4).exit_code)
+    bench("engine/hot_loop_native_sim", 20, || {
+        rio_sim::run_native(&image, CpuKind::Pentium4).exit_code
     });
-    g.finish();
 }
 
-fn bench_fragment_build(c: &mut Criterion) {
+fn bench_fragment_build() {
+    println!("-- cold-code translation --");
     // Cost of building one basic block end-to-end through the engine by
     // running a straight-line program (every block executes once).
     let mut src = String::from("fn main() { var a = 1;\n");
@@ -114,22 +125,15 @@ fn bench_fragment_build(c: &mut Criterion) {
     }
     src.push_str("return a; }");
     let image = compile(&src).unwrap();
-    let mut g = c.benchmark_group("build");
-    g.sample_size(30);
-    g.bench_function("cold_code_translation", |b| {
-        b.iter(|| {
-            let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
-            rio.run().exit_code
-        })
+    bench("build/cold_code_translation", 30, || {
+        let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+        rio.run().exit_code
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_decode_strategies,
-    bench_decode_encode_levels,
-    bench_engine_end_to_end,
-    bench_fragment_build
-);
-criterion_main!(benches);
+fn main() {
+    bench_decode_strategies();
+    bench_decode_encode_levels();
+    bench_engine_end_to_end();
+    bench_fragment_build();
+}

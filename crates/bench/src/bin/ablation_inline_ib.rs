@@ -1,26 +1,48 @@
 //! Ablation: inlined indirect-branch target check on/off (DESIGN.md design
 //! choice 4) — the §3 claim that "this check is much faster than the
 //! hashtable lookup".
+//!
+//! Both sweeps run on the worker pool (`--jobs N` / `RIO_JOBS`); output is
+//! identical for every job count.
 
-use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_bench::{jobs, native_cycles, run_config, run_parallel, ClientKind};
 use rio_core::Options;
 use rio_sim::CpuKind;
-use rio_workloads::{compile, suite_scaled, Category};
+use rio_workloads::{compiled, suite_scaled, Category};
 
 fn main() {
     let kind = CpuKind::Pentium4;
+    let njobs = jobs();
+
+    let benches: Vec<_> = suite_scaled(3)
+        .into_iter()
+        .map(|b| {
+            let image = compiled(&b);
+            (b, image)
+        })
+        .collect();
+    let natives = run_parallel(&benches, njobs, |_, (_, image)| {
+        native_cycles(image, kind).0
+    });
+
+    let cells: Vec<(bool, usize)> = [false, true]
+        .iter()
+        .flat_map(|&inline| (0..benches.len()).map(move |b| (inline, b)))
+        .collect();
+    let norms = run_parallel(&cells, njobs, |_, &(inline, bi)| {
+        let mut opts = Options::full();
+        opts.inline_ib_target = inline;
+        let r = run_config(&benches[bi].1, opts, kind, ClientKind::Null);
+        r.cycles as f64 / natives[bi] as f64
+    });
+
     println!("Inline IB target check: normalized execution time (geomean, full system)");
     println!("{:<10} {:>8} {:>8}", "inline", "int", "all");
-    for inline in [false, true] {
+    for (row, inline) in [false, true].iter().enumerate() {
         let mut int = Vec::new();
         let mut all = Vec::new();
-        for b in suite_scaled(3) {
-            let image = compile(&b.source).expect("compiles");
-            let (native, _, _) = native_cycles(&image, kind);
-            let mut opts = Options::full();
-            opts.inline_ib_target = inline;
-            let r = run_config(&image, opts, kind, ClientKind::Null);
-            let norm = r.cycles as f64 / native as f64;
+        for (bi, (b, _)) in benches.iter().enumerate() {
+            let norm = norms[row * benches.len() + bi];
             if b.category == Category::Int {
                 int.push(norm);
             }

@@ -7,11 +7,16 @@
 //! IB dispatch and custom traces win on indirect/call-heavy integer codes;
 //! slowdowns on the low-reuse gcc/perlbmk-like runs; combined mean ≈
 //! native (≈12% better than base RIO).
+//!
+//! The 19 × 6 = 114 engine runs are distributed over the worker pool
+//! (`--jobs N` / `RIO_JOBS`); the table is byte-identical for any job
+//! count because simulated cycles are host-independent and results are
+//! collected in item order.
 
-use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_bench::{jobs, native_cycles, run_config, run_parallel, ClientKind};
 use rio_core::Options;
 use rio_sim::CpuKind;
-use rio_workloads::{compile, suite, Category};
+use rio_workloads::{compiled_suite, Category};
 
 fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
@@ -19,30 +24,45 @@ fn geomean(xs: &[f64]) -> f64 {
 
 fn main() {
     let kind = CpuKind::Pentium4;
+    let njobs = jobs();
+    let benches = compiled_suite();
+
+    // Native baselines, one per benchmark.
+    let natives = run_parallel(&benches, njobs, |_, (_, image)| native_cycles(image, kind));
+
+    // One work item per (benchmark, client) bar.
+    let bars: Vec<(usize, ClientKind)> = (0..benches.len())
+        .flat_map(|b| ClientKind::FIGURE5.iter().map(move |&c| (b, c)))
+        .collect();
+    let norms = run_parallel(&bars, njobs, |_, &(bi, client)| {
+        let (b, image) = &benches[bi];
+        let (native, exit, out) = &natives[bi];
+        let r = run_config(image, Options::full(), kind, client);
+        assert_eq!(
+            (r.exit_code, r.output.as_str()),
+            (*exit, out.as_str()),
+            "{} under {:?} diverged from native execution",
+            b.name,
+            client
+        );
+        r.cycles as f64 / *native as f64
+    });
+
     println!("Figure 5: normalized execution time (RIO / native; smaller is better)");
     println!(
         "{:<10} {:>8} {:>8} {:>8} {:>10} {:>8} {:>9}",
         "benchmark", "base", "rlr", "inc2add", "ibdispatch", "ctraces", "combined"
     );
 
-    let mut by_client: Vec<Vec<f64>> = vec![Vec::new(); ClientKind::FIGURE5.len()];
+    let nclients = ClientKind::FIGURE5.len();
+    let mut by_client: Vec<Vec<f64>> = vec![Vec::new(); nclients];
     let mut int_combined = Vec::new();
     let mut fp_combined = Vec::new();
 
-    for b in suite() {
-        let image = compile(&b.source).expect("benchmark compiles");
-        let (native, exit, out) = native_cycles(&image, kind);
+    for (bi, (b, _)) in benches.iter().enumerate() {
         let mut row = format!("{:<10}", b.name);
         for (i, client) in ClientKind::FIGURE5.iter().enumerate() {
-            let r = run_config(&image, Options::full(), kind, *client);
-            assert_eq!(
-                (r.exit_code, r.output.as_str()),
-                (exit, out.as_str()),
-                "{} under {:?} diverged from native execution",
-                b.name,
-                client
-            );
-            let norm = r.cycles as f64 / native as f64;
+            let norm = norms[bi * nclients + i];
             by_client[i].push(norm);
             let width = [8, 8, 8, 10, 8, 9][i];
             row.push_str(&format!(" {:>width$.3}", norm, width = width));

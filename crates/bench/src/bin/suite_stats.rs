@@ -1,31 +1,43 @@
 //! Per-benchmark characteristics report: instruction counts, branch mix,
 //! engine statistics under the full system. Useful for sanity-checking that
 //! each benchmark has the character its SPEC analog calls for.
+//!
+//! Runs are distributed over the worker pool (`--jobs N` / `RIO_JOBS`);
+//! the report is printed in suite order regardless of job count, and a
+//! suite-wide aggregate row is derived with [`Stats::aggregate`].
 
-use rio_bench::{run_config, ClientKind};
-use rio_core::Options;
+use rio_bench::{jobs, run_config, run_parallel, ClientKind};
+use rio_core::{Options, Stats};
 use rio_sim::{run_native, CpuKind};
-use rio_workloads::{compile, suite};
+use rio_workloads::compiled_suite;
 
 fn main() {
+    let benches = compiled_suite();
+    let rows = run_parallel(&benches, jobs(), |_, (_, image)| {
+        let native = run_native(image, CpuKind::Pentium4);
+        let r = run_config(image, Options::full(), CpuKind::Pentium4, ClientKind::Null);
+        (native.counters, r)
+    });
+
     println!(
         "{:<10} {:>10} {:>7} {:>8} {:>8} {:>7} {:>7} {:>8}",
         "benchmark", "instrs", "cpi", "blocks", "traces", "links", "iblkup", "norm"
     );
-    for b in suite() {
-        let image = compile(&b.source).expect("compiles");
-        let native = run_native(&image, CpuKind::Pentium4);
-        let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Null);
+    for ((b, _), (native, r)) in benches.iter().zip(&rows) {
         println!(
             "{:<10} {:>10} {:>7.2} {:>8} {:>8} {:>7} {:>7} {:>8.3}",
             b.name,
-            native.counters.instructions,
-            native.counters.cycles as f64 / native.counters.instructions as f64,
+            native.instructions,
+            native.cycles as f64 / native.instructions as f64,
             r.stats.bbs_built,
             r.stats.traces_built,
             r.stats.links,
             r.stats.ib_lookups,
-            r.cycles as f64 / native.counters.cycles as f64,
+            r.cycles as f64 / native.cycles as f64,
         );
     }
+
+    let total = Stats::aggregate(rows.iter().map(|(_, r)| &r.stats));
+    println!();
+    println!("suite aggregate: {total}");
 }

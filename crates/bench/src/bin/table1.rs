@@ -5,11 +5,14 @@
 //!
 //! Paper bands: emulation ≈ 300×, + bb cache ≈ 26×, + direct links ≈
 //! 5.1 / 3.0, + indirect links ≈ 2.0 / 1.2, + traces ≈ 1.7 / 1.1.
+//!
+//! All ten configuration runs are distributed over the worker pool
+//! (`--jobs N` / `RIO_JOBS`); output is identical for every job count.
 
-use rio_bench::{native_cycles, run_config, ClientKind};
+use rio_bench::{jobs, native_cycles, run_config, run_parallel, ClientKind};
 use rio_core::Options;
 use rio_sim::CpuKind;
-use rio_workloads::{benchmark, compile};
+use rio_workloads::{benchmark, compiled};
 
 fn main() {
     let kind = CpuKind::Pentium4;
@@ -21,27 +24,41 @@ fn main() {
         ("+ Traces", Options::full()),
     ];
 
-    let mut cols = Vec::new();
-    for name in ["crafty", "vpr"] {
-        let b = benchmark(name).expect("benchmark exists");
-        let image = compile(&b.source).expect("compiles");
-        let (native, exit, out) = native_cycles(&image, kind);
-        let mut col = Vec::new();
-        for (_, opts) in &rows {
-            let r = run_config(&image, *opts, kind, ClientKind::Null);
-            assert_eq!(
-                (r.exit_code, r.output.as_str()),
-                (exit, out.as_str()),
-                "{name} diverged under {opts:?}"
-            );
-            col.push(r.cycles as f64 / native as f64);
-        }
-        cols.push(col);
-    }
+    let benches: Vec<_> = ["crafty", "vpr"]
+        .iter()
+        .map(|name| {
+            let b = benchmark(name).expect("benchmark exists");
+            let image = compiled(&b);
+            let (native, exit, out) = native_cycles(&image, kind);
+            (b, image, native, exit, out)
+        })
+        .collect();
+
+    // One work item per (benchmark, configuration) cell.
+    let cells: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|c| (0..rows.len()).map(move |r| (c, r)))
+        .collect();
+    let results = run_parallel(&cells, jobs(), |_, &(c, r)| {
+        let (b, image, native, exit, out) = &benches[c];
+        let res = run_config(image, rows[r].1, kind, ClientKind::Null);
+        assert_eq!(
+            (res.exit_code, res.output.as_str()),
+            (*exit, out.as_str()),
+            "{} diverged under {:?}",
+            b.name,
+            rows[r].1
+        );
+        res.cycles as f64 / *native as f64
+    });
 
     println!("Table 1: normalized execution time (vs native)");
     println!("{:<26} {:>8} {:>8}", "System Type", "crafty", "vpr");
     for (i, (name, _)) in rows.iter().enumerate() {
-        println!("{:<26} {:>8.1} {:>8.1}", name, cols[0][i], cols[1][i]);
+        println!(
+            "{:<26} {:>8.1} {:>8.1}",
+            name,
+            results[i],
+            results[rows.len() + i]
+        );
     }
 }

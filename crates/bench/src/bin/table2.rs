@@ -11,10 +11,11 @@
 
 use std::time::Instant;
 
+use rio_bench::{jobs, run_parallel};
 use rio_ia32::encode::encode_list;
 use rio_ia32::{decode_sizeof, InstrList, Level};
 use rio_sim::Image;
-use rio_workloads::{compile, suite_scaled};
+use rio_workloads::{compiled, suite_scaled};
 
 /// Collect the byte ranges of every static basic block in an image.
 fn block_ranges(code: &[u8]) -> Vec<(usize, usize)> {
@@ -42,20 +43,29 @@ fn block_ranges(code: &[u8]) -> Vec<(usize, usize)> {
 }
 
 fn main() {
-    // Harvest a basic-block corpus from every benchmark binary.
-    let mut blocks: Vec<Vec<u8>> = Vec::new();
-    for b in suite_scaled(1) {
-        let image = compile(&b.source).expect("compiles");
-        for (s, e) in block_ranges(&image.code) {
-            blocks.push(image.code[s..e].to_vec());
-        }
-    }
+    // Harvest a basic-block corpus from every benchmark binary. Compiling
+    // and slicing runs on the worker pool; the timing loop below stays
+    // strictly serial so wall-clock numbers are not skewed by contention.
+    let suite = suite_scaled(1);
+    let blocks: Vec<Vec<u8>> = run_parallel(&suite, jobs(), |_, b| {
+        let image = compiled(b);
+        block_ranges(&image.code)
+            .into_iter()
+            .map(|(s, e)| image.code[s..e].to_vec())
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let nblocks = blocks.len();
     assert!(nblocks > 100, "corpus too small");
 
     println!("Table 2: average time and memory to decode then encode one basic block");
     println!("({nblocks} static blocks from the benchmark suite)");
-    println!("{:<6} {:>12} {:>16}", "Level", "Time (ns)", "Memory (bytes)");
+    println!(
+        "{:<6} {:>12} {:>16}",
+        "Level", "Time (ns)", "Memory (bytes)"
+    );
 
     // Enough repetitions for stable wall-clock numbers.
     let reps = 2000 / (nblocks / 256).max(1);

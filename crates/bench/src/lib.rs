@@ -9,8 +9,15 @@
 //! * `ablation_threshold`, `ablation_tracesize` — parameter sweeps for the
 //!   design choices called out in DESIGN.md.
 //!
-//! Criterion micro-benchmarks live under `benches/`.
+//! Every binary distributes its engine runs over the worker-pool runner in
+//! [`harness`] (`--jobs N` / `RIO_JOBS`, default: available parallelism).
+//! Because the simulation is deterministic and results are collected in
+//! item order, output is byte-identical for any job count.
+//!
+//! Micro-benchmarks live under `benches/`.
 
 pub mod harness;
 
-pub use harness::{native_cycles, rio_cycles, run_config, ClientKind, ConfigResult};
+pub use harness::{
+    jobs, native_cycles, rio_cycles, run_config, run_parallel, ClientKind, ConfigResult,
+};

@@ -6,6 +6,7 @@
 //! rio native <prog.dyna | bench:NAME>          run natively (baseline)
 //! rio disasm <prog.dyna | bench:NAME>          disassemble the compiled image
 //! rio fragments <prog.dyna | bench:NAME> [options]  run, then dump the code cache
+//! rio suite [--client NAME] [--jobs N]         run the whole benchmark suite
 //! rio bench-list                               list the benchmark suite
 //!
 //! run options:
@@ -18,18 +19,31 @@
 //!   --no-traces       disable trace building
 //!   --threshold N     trace-head threshold (default 50)
 //!   --cache-limit N   per-sub-cache capacity in bytes
+//!   --max-instructions N  stop after N application instructions (exit 124)
+//!   --timeout-cycles N    stop after N simulated cycles (exit 124)
 //!   --stats           print engine statistics
+//!
+//! suite options: --client as above (the six measured kinds), --cpu,
+//! --jobs N (worker threads; also honors RIO_JOBS, defaults to the
+//! host's available parallelism).
 //! ```
 
 use std::process::ExitCode;
 
+use rio_bench::{native_cycles, run_config, run_parallel, ClientKind};
 use rio_clients::{CTrace, Combined, IbDispatch, Inc2Add, InsCount, OpStats, Rlr, Shepherd};
-use rio_core::{Client, NullClient, Options, Rio, RioRunResult};
+use rio_core::{Client, NullClient, Options, Rio, RioRunResult, Stats, StepBudget, StepOutcome};
 use rio_sim::{run_native, CpuKind, Image};
-use rio_workloads::{benchmark, compile, suite};
+use rio_workloads::{benchmark, compile, compiled_suite, suite};
+
+/// Exit code when a `--max-instructions` / `--timeout-cycles` budget runs
+/// out before the program exits (matches the `timeout(1)` convention).
+const EXIT_BUDGET_EXHAUSTED: u8 = 124;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rio <run|native|disasm|bench-list> [args]  (see --help in source header)");
+    eprintln!(
+        "usage: rio <run|native|disasm|fragments|suite|bench-list> [args]  (see --help in source header)"
+    );
     ExitCode::from(2)
 }
 
@@ -50,6 +64,8 @@ struct RunArgs {
     cpu: CpuKind,
     options: Options,
     stats: bool,
+    max_instructions: Option<u64>,
+    timeout_cycles: Option<u64>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -59,6 +75,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         cpu: CpuKind::Pentium4,
         options: Options::default(),
         stats: false,
+        max_instructions: None,
+        timeout_cycles: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +117,22 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .map_err(|e| format!("bad cache limit: {e}"))?,
                 );
             }
+            "--max-instructions" => {
+                out.max_instructions = Some(
+                    it.next()
+                        .ok_or("--max-instructions needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad instruction budget: {e}"))?,
+                );
+            }
+            "--timeout-cycles" => {
+                out.timeout_cycles = Some(
+                    it.next()
+                        .ok_or("--timeout-cycles needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad cycle budget: {e}"))?,
+                );
+            }
             "--stats" => out.stats = true,
             other if !other.starts_with('-') && out.spec.is_empty() => {
                 out.spec = other.to_string();
@@ -112,11 +146,47 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     Ok(out)
 }
 
-fn run_with_client(image: &Image, a: &RunArgs) -> Result<RioRunResult, String> {
-    fn go<C: Client>(image: &Image, a: &RunArgs, client: C) -> RioRunResult {
-        Rio::new(image, a.options, a.cpu, client).run()
+/// Outcome of a budgeted CLI run.
+struct DrivenRun {
+    result: RioRunResult,
+    /// Set when a `--max-instructions` / `--timeout-cycles` budget ran out
+    /// before the program exited.
+    exhausted: Option<&'static str>,
+}
+
+fn run_with_client(image: &Image, a: &RunArgs) -> Result<DrivenRun, String> {
+    fn go<C: Client>(image: &Image, a: &RunArgs, client: C) -> Result<DrivenRun, String> {
+        let mut rio = Rio::new(image, a.options, a.cpu, client);
+        if a.max_instructions.is_none() && a.timeout_cycles.is_none() {
+            return Ok(DrivenRun {
+                result: rio.run(),
+                exhausted: None,
+            });
+        }
+        // A budgeted session: take a single step carrying the whole budget
+        // and report exhaustion instead of running to completion.
+        let budget = StepBudget {
+            max_instructions: a.max_instructions,
+            max_cycles: a.timeout_cycles,
+            timeout: None,
+        };
+        match rio.step(budget) {
+            StepOutcome::Exited(code) => Ok(DrivenRun {
+                result: rio.result_snapshot(code),
+                exhausted: None,
+            }),
+            StepOutcome::Running(reason) => Ok(DrivenRun {
+                result: rio.result_snapshot(i32::from(EXIT_BUDGET_EXHAUSTED)),
+                exhausted: Some(match reason {
+                    rio_core::StopReason::InstructionBudget => "instruction budget",
+                    rio_core::StopReason::CycleBudget => "cycle budget",
+                    rio_core::StopReason::Timeout => "timeout",
+                }),
+            }),
+            StepOutcome::Faulted(f) => Err(format!("fault at eip={:#x}: {}", f.eip, f.message)),
+        }
     }
-    Ok(match a.client.as_str() {
+    match a.client.as_str() {
         "null" => go(image, a, NullClient),
         "rlr" => go(image, a, Rlr::new()),
         "inc2add" => go(image, a, Inc2Add::new()),
@@ -126,18 +196,23 @@ fn run_with_client(image: &Image, a: &RunArgs) -> Result<RioRunResult, String> {
         "shepherd" => go(image, a, Shepherd::new()),
         "inscount" => go(image, a, InsCount::new()),
         "opstats" => go(image, a, OpStats::new()),
-        other => return Err(format!("unknown client `{other}`")),
-    })
+        other => Err(format!("unknown client `{other}`")),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let a = parse_run_args(args)?;
     let image = load_image(&a.spec)?;
     let native = run_native(&image, a.cpu);
-    let r = run_with_client(&image, &a)?;
+    let run = run_with_client(&image, &a)?;
+    let r = &run.result;
     print!("{}", r.app_output);
-    if r.app_output != native.output || r.exit_code != native.exit_code {
-        eprintln!("!! DIVERGENCE from native execution (native exit {})", native.exit_code);
+    if run.exhausted.is_none() && (r.app_output != native.output || r.exit_code != native.exit_code)
+    {
+        eprintln!(
+            "!! DIVERGENCE from native execution (native exit {})",
+            native.exit_code
+        );
     }
     if !r.client_output.is_empty() {
         eprintln!("--- client output ---");
@@ -154,6 +229,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         if r.sideline_cycles > 0 {
             eprintln!("sideline cycles: {}", r.sideline_cycles);
         }
+    }
+    if let Some(what) = run.exhausted {
+        eprintln!(
+            "rio: {what} exhausted after {} instructions / {} cycles; program did not finish",
+            r.counters.instructions, r.counters.cycles
+        );
+        return Ok(ExitCode::from(EXIT_BUDGET_EXHAUSTED));
     }
     Ok(ExitCode::from((r.exit_code & 0xFF) as u8))
 }
@@ -205,6 +287,88 @@ fn cmd_disasm(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `rio suite`: run every benchmark in the suite under the engine on the
+/// worker pool, validate each against native execution, and print the
+/// normalized-time table plus aggregate statistics.
+fn cmd_suite(args: &[String]) -> Result<ExitCode, String> {
+    let mut client = ClientKind::Null;
+    let mut cpu = CpuKind::Pentium4;
+    let mut njobs = rio_bench::jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--client" => {
+                client = match it.next().ok_or("--client needs a value")?.as_str() {
+                    "null" | "base" => ClientKind::Null,
+                    "rlr" => ClientKind::Rlr,
+                    "inc2add" => ClientKind::Inc2Add,
+                    "ibdispatch" => ClientKind::IbDispatch,
+                    "ctrace" | "ctraces" => ClientKind::CTrace,
+                    "combined" => ClientKind::Combined,
+                    other => {
+                        return Err(format!(
+                            "unknown suite client `{other}` (null|rlr|inc2add|ibdispatch|ctrace|combined)"
+                        ))
+                    }
+                };
+            }
+            "--cpu" => {
+                cpu = match it.next().ok_or("--cpu needs a value")?.as_str() {
+                    "p3" => CpuKind::Pentium3,
+                    "p4" => CpuKind::Pentium4,
+                    other => return Err(format!("unknown cpu `{other}` (p3|p4)")),
+                };
+            }
+            "--jobs" | "-j" => {
+                njobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad job count: {e}"))?
+                    .max(1);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let benches = compiled_suite();
+    let rows = run_parallel(&benches, njobs, |_, (b, image)| {
+        let (native, exit, out) = native_cycles(image, cpu);
+        let r = run_config(image, Options::full(), cpu, client);
+        let diverged = (r.exit_code, r.output.as_str()) != (exit, out.as_str());
+        (b.name, native, r, diverged)
+    });
+
+    println!(
+        "suite under client `{}` ({njobs} worker{})",
+        client.label(),
+        if njobs == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "benchmark", "native cyc", "rio cyc", "norm"
+    );
+    let mut diverged_any = false;
+    for (name, native, r, diverged) in &rows {
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.3}{}",
+            name,
+            native,
+            r.cycles,
+            r.cycles as f64 / *native as f64,
+            if *diverged { "  !! DIVERGED" } else { "" }
+        );
+        diverged_any |= diverged;
+    }
+    let total = Stats::aggregate(rows.iter().map(|(_, _, r, _)| &r.stats));
+    println!();
+    println!("aggregate: {total}");
+    if diverged_any {
+        return Err("at least one benchmark diverged from native execution".into());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_bench_list() -> ExitCode {
     println!("{:<10} {:<4} character", "name", "cat");
     for b in suite() {
@@ -232,6 +396,7 @@ fn main() -> ExitCode {
         "native" => cmd_native(rest),
         "fragments" => cmd_fragments(rest),
         "disasm" => cmd_disasm(rest),
+        "suite" => cmd_suite(rest),
         "bench-list" => Ok(cmd_bench_list()),
         _ => return usage(),
     };

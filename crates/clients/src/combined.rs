@@ -89,7 +89,7 @@ mod tests {
     use super::*;
     use rio_core::{Options, Rio};
     use rio_ia32::encode::encode_list;
-    use rio_ia32::{create, Cc, MemRef, Opnd, OpSize, Reg, Target};
+    use rio_ia32::{create, Cc, MemRef, OpSize, Opnd, Reg, Target};
     use rio_sim::{run_native, CpuKind, Image};
 
     /// A workload exercising all four optimizations at once: a loop calling
@@ -133,7 +133,11 @@ mod tests {
         assert_eq!(r.exit_code, native.exit_code, "combination broke execution");
         let c = &rio.client;
         assert!(c.rlr.loads_removed >= 1, "rlr idle: {:?}", c.rlr);
-        assert!(c.inc2add.num_converted >= 1, "inc2add idle: {:?}", c.inc2add);
+        assert!(
+            c.inc2add.num_converted >= 1,
+            "inc2add idle: {:?}",
+            c.inc2add
+        );
         assert!(c.ctrace.calls_marked >= 1, "ctrace idle: {:?}", c.ctrace);
         // With ctrace eliding returns, ibdispatch may see few sites; it must
         // at least have run its hooks without breaking anything.

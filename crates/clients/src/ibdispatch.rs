@@ -110,8 +110,7 @@ impl IbDispatch {
         // Locate this site's profiling call and the ib-exit jmp after it.
         let Some(call_id) = il.ids().find(|id| {
             let i = il.get(*id);
-            i.opcode() == Some(rio_ia32::Opcode::Call)
-                && i.target() == Some(Target::Pc(sentinel))
+            i.opcode() == Some(rio_ia32::Opcode::Call) && i.target() == Some(Target::Pc(sentinel))
         }) else {
             return;
         };
@@ -317,7 +316,12 @@ pub(crate) mod tests {
     #[test]
     fn dispatch_reduces_hashtable_lookups() {
         let img = two_site_call_program(10_000);
-        let mut base = Rio::new(&img, Options::full(), CpuKind::Pentium4, rio_core::NullClient);
+        let mut base = Rio::new(
+            &img,
+            Options::full(),
+            CpuKind::Pentium4,
+            rio_core::NullClient,
+        );
         let a = base.run();
         let mut opt = Rio::new(
             &img,
@@ -361,8 +365,14 @@ mod sideline_tests {
         side.threshold = 32;
         let mut sideline = Rio::new(&img, Options::full(), CpuKind::Pentium4, side);
         let b = sideline.run();
-        assert_eq!(b.exit_code, native.exit_code, "sideline rewrite broke execution");
+        assert_eq!(
+            b.exit_code, native.exit_code,
+            "sideline rewrite broke execution"
+        );
         assert!(sideline.client.rewrites >= 1, "{:?}", sideline.client);
-        assert!(b.sideline_cycles > 0, "analysis should land on the sideline");
+        assert!(
+            b.sideline_cycles > 0,
+            "analysis should land on the sideline"
+        );
     }
 }

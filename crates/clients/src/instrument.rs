@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use rio_core::{Client, Core};
-use rio_ia32::{create, InstrList, MemRef, Opcode, OpSize, Opnd};
+use rio_ia32::{create, InstrList, MemRef, OpSize, Opcode, Opnd};
 use rio_sim::Image;
 
 /// Address of the inline instruction counter in RIO data space.
@@ -99,7 +99,10 @@ impl Client for InsCount {
 
     fn on_exit(&mut self, core: &mut Core) {
         self.executed = core.machine.mem.read_u32(COUNTER_ADDR) as u64;
-        core.printf(format!("inscount: {} instructions executed\n", self.executed));
+        core.printf(format!(
+            "inscount: {} instructions executed\n",
+            self.executed
+        ));
     }
 }
 

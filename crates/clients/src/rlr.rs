@@ -18,7 +18,7 @@
 //! the machine in an identical state on every path, including trace exits.
 
 use rio_core::{Client, Core};
-use rio_ia32::{InstrId, InstrList, MemRef, Opcode, Opnd, OpSize, Reg};
+use rio_ia32::{InstrId, InstrList, MemRef, OpSize, Opcode, Opnd, Reg};
 
 /// Modeled cycles of client analysis per instruction scanned.
 const ANALYSIS_COST_PER_INSTR: u64 = 14;
@@ -47,14 +47,15 @@ fn may_alias(a: &MemRef, b: &MemRef) -> bool {
         };
         return (hi - lo) < lo_size.bytes() as i32;
     }
-    let is_frame = |x: &MemRef| {
-        matches!(x.base, Some(Reg::Esp) | Some(Reg::Ebp)) && x.index.is_none()
-    };
+    let is_frame =
+        |x: &MemRef| matches!(x.base, Some(Reg::Esp) | Some(Reg::Ebp)) && x.index.is_none();
     let is_global = |x: &MemRef| x.base.is_none();
     // Stack discipline: push/pop traffic below %esp never overlaps live
     // %ebp frame slots.
     let stack_disjoint = |x: &MemRef, y: &MemRef| {
-        x.base == Some(Reg::Esp) && x.index.is_none() && y.base == Some(Reg::Ebp)
+        x.base == Some(Reg::Esp)
+            && x.index.is_none()
+            && y.base == Some(Reg::Ebp)
             && y.index.is_none()
     };
     if stack_disjoint(a, b) || stack_disjoint(b, a) {
@@ -125,27 +126,23 @@ impl Rlr {
 
             // Classify plain register<->memory moves.
             let as_load = (op == Opcode::Mov)
-                .then(|| {
-                    match (instr.srcs().first(), instr.dsts().first()) {
-                        (Some(Opnd::Mem(m)), Some(Opnd::Reg(r)))
-                            if r.size() == OpSize::S32 && m.size == OpSize::S32 =>
-                        {
-                            Some((*r, *m))
-                        }
-                        _ => None,
+                .then(|| match (instr.srcs().first(), instr.dsts().first()) {
+                    (Some(Opnd::Mem(m)), Some(Opnd::Reg(r)))
+                        if r.size() == OpSize::S32 && m.size == OpSize::S32 =>
+                    {
+                        Some((*r, *m))
                     }
+                    _ => None,
                 })
                 .flatten();
             let as_store = (op == Opcode::Mov)
-                .then(|| {
-                    match (instr.srcs().first(), instr.dsts().first()) {
-                        (Some(Opnd::Reg(r)), Some(Opnd::Mem(m)))
-                            if r.size() == OpSize::S32 && m.size == OpSize::S32 =>
-                        {
-                            Some((*r, *m))
-                        }
-                        _ => None,
+                .then(|| match (instr.srcs().first(), instr.dsts().first()) {
+                    (Some(Opnd::Reg(r)), Some(Opnd::Mem(m)))
+                        if r.size() == OpSize::S32 && m.size == OpSize::S32 =>
+                    {
+                        Some((*r, *m))
                     }
+                    _ => None,
                 })
                 .flatten();
 
@@ -357,7 +354,7 @@ mod tests {
         assert_eq!(c.loads_copied, 1);
         let i = il.get(second);
         assert_eq!(i.src(0).as_reg(), Some(Reg::Ecx)); // now a reg-reg mov
-        // And the new fact allows a further removal.
+                                                       // And the new fact allows a further removal.
         let mut il2 = InstrList::new();
         il2.push_back(create::mov(Opnd::reg(Reg::Ecx), Opnd::Mem(local(-8))));
         il2.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::Mem(local(-8))));

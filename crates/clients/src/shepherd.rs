@@ -86,17 +86,17 @@ impl Shepherd {
                 // address.
                 Some(Opcode::Jmp)
                     if matches!(Note::parse(instr.note), Some(Note::IbExit(IndKind::Ret)))
-                        && !in_region.contains(id)
-                    => {
-                        let mut cur = il.prev_id(*id);
-                        while let Some(p) = cur {
-                            if il.get(p).app_pc() != 0 {
-                                ret_sites.push(p);
-                                break;
-                            }
-                            cur = il.prev_id(p);
+                        && !in_region.contains(id) =>
+                {
+                    let mut cur = il.prev_id(*id);
+                    while let Some(p) = cur {
+                        if il.get(p).app_pc() != 0 {
+                            ret_sites.push(p);
+                            break;
                         }
+                        cur = il.prev_id(p);
                     }
+                }
                 _ => {}
             }
         }
@@ -232,7 +232,8 @@ mod tests {
         // Resolve the gadget address.
         let enc = encode_list(&il, Image::CODE_BASE).unwrap();
         let gadget_addr = Image::CODE_BASE + enc.offset_of(gadget).unwrap();
-        il.get_mut(patch).set_src(0, Opnd::imm32(gadget_addr as i32));
+        il.get_mut(patch)
+            .set_src(0, Opnd::imm32(gadget_addr as i32));
         Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
     }
 
@@ -242,7 +243,10 @@ mod tests {
         let native = run_native(&img, CpuKind::Pentium4);
         let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, Shepherd::new());
         let r = rio.run();
-        assert_eq!(r.exit_code, native.exit_code, "instrumentation broke execution");
+        assert_eq!(
+            r.exit_code, native.exit_code,
+            "instrumentation broke execution"
+        );
         assert_eq!(rio.client.violations, vec![]);
         assert_eq!(rio.client.calls_seen, 300);
         assert_eq!(rio.client.rets_checked, 300);

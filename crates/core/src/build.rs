@@ -58,15 +58,12 @@ pub fn decode_bb(
     let mut bundle_count = 0u32;
     let mut buf = [0u8; FETCH];
 
-    let flush_bundle = |il: &mut InstrList,
-                        bundle: &mut Vec<u8>,
-                        start: u32,
-                        last_off: u32,
-                        n: u32| {
-        if !bundle.is_empty() {
-            il.push_back(Instr::bundle(std::mem::take(bundle), start, last_off, n));
-        }
-    };
+    let flush_bundle =
+        |il: &mut InstrList, bundle: &mut Vec<u8>, start: u32, last_off: u32, n: u32| {
+            if !bundle.is_empty() {
+                il.push_back(Instr::bundle(std::mem::take(bundle), start, last_off, n));
+            }
+        };
 
     loop {
         mem.read_bytes(pc, &mut buf);

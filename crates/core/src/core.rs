@@ -68,6 +68,7 @@ pub struct Core {
     client_output: String,
     sideline_queue: Vec<(u32, u64)>,
     sideline_cycles: u64,
+    pending_flush: bool,
 }
 
 impl Core {
@@ -92,6 +93,7 @@ impl Core {
             client_output: String::new(),
             sideline_queue: Vec::new(),
             sideline_cycles: 0,
+            pending_flush: false,
         }
     }
 
@@ -235,7 +237,10 @@ impl Core {
 
     /// Number of blocks recorded so far in the current trace.
     pub fn recording_block_count(&self) -> usize {
-        self.threads[self.cur].recording.as_ref().map_or(0, |r| r.tags.len())
+        self.threads[self.cur]
+            .recording
+            .as_ref()
+            .map_or(0, |r| r.tags.len())
     }
 
     /// Whether the most recent fragment exit was a translated return —
@@ -254,7 +259,10 @@ impl Core {
 
     /// The kind of fragment that will execute for `tag`.
     pub fn fragment_kind(&self, tag: u32) -> Option<FragmentKind> {
-        self.threads[self.cur].cache.lookup(tag).map(|id| self.threads[self.cur].cache.frag(id).kind)
+        self.threads[self.cur]
+            .cache
+            .lookup(tag)
+            .map(|id| self.threads[self.cur].cache.frag(id).kind)
     }
 
     // ----- adaptive optimization (§3.4) ------------------------------------
@@ -359,8 +367,14 @@ impl Core {
         let kind = self.threads[self.cur].cache.frag(old).kind;
         self.charge(self.costs.replace_fragment);
         let custom = std::mem::take(&mut self.pending_custom_stubs);
-        let Ok(new) = emit_fragment(&mut self.machine, &mut self.threads[self.cur].cache, kind, tag, il, custom)
-        else {
+        let Ok(new) = emit_fragment(
+            &mut self.machine,
+            &mut self.threads[self.cur].cache,
+            kind,
+            tag,
+            il,
+            custom,
+        ) else {
             return false;
         };
         // Preserve trace-head status and counter.
@@ -374,7 +388,12 @@ impl Core {
             f.counter = counter;
         }
         let moved = self.threads[self.cur].cache.frag(old).incoming.len() as u64;
-        redirect_incoming(&mut self.machine, &mut self.threads[self.cur].cache, old, new);
+        redirect_incoming(
+            &mut self.machine,
+            &mut self.threads[self.cur].cache,
+            old,
+            new,
+        );
         self.stats.links += moved;
         self.stats.unlinks += moved;
         unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, old);
@@ -456,7 +475,53 @@ impl Core {
                 // Detach survivors pointing in, and this fragment's own
                 // outgoing links.
                 unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, *id);
-                crate::link::unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, *id);
+                crate::link::unlink_outgoing(
+                    &mut self.machine,
+                    &mut self.threads[self.cur].cache,
+                    *id,
+                );
+            }
+            for id in flushed {
+                let f = self.threads[self.cur].cache.frag_mut(id);
+                f.deleted = true;
+                tags.push(f.tag);
+                self.stats.deletions += 1;
+            }
+        }
+        tags
+    }
+
+    /// Request that the current thread's entire code cache be flushed at
+    /// the next safe point (the next dispatch). Each flushed fragment's tag
+    /// is reported through the `fragment_deleted` client hook, exactly as
+    /// for capacity-triggered flushes. Safe to call while a session is
+    /// suspended by [`Rio::step`](crate::Rio::step) — the flush happens
+    /// before any further cache execution.
+    pub fn request_cache_flush(&mut self) {
+        self.pending_flush = true;
+    }
+
+    /// Perform a requested whole-cache flush (engine-internal; called at
+    /// dispatch, a safe point). Returns the tags of flushed fragments for
+    /// the `fragment_deleted` client hook.
+    pub(crate) fn take_requested_flush(&mut self) -> Vec<u32> {
+        if !std::mem::take(&mut self.pending_flush) {
+            return Vec::new();
+        }
+        let mut tags = Vec::new();
+        for kind in [FragmentKind::BasicBlock, FragmentKind::Trace] {
+            let flushed = self.threads[self.cur].cache.flush(kind);
+            if flushed.is_empty() {
+                continue;
+            }
+            self.stats.cache_flushes += 1;
+            for id in &flushed {
+                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, *id);
+                crate::link::unlink_outgoing(
+                    &mut self.machine,
+                    &mut self.threads[self.cur].cache,
+                    *id,
+                );
             }
             for id in flushed {
                 let f = self.threads[self.cur].cache.frag_mut(id);

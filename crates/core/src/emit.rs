@@ -316,8 +316,14 @@ mod tests {
         let (_, cache, id) = emit_block(&[0x74, 0x05], 0x1000);
         let f = cache.frag(id);
         assert_eq!(f.exits.len(), 2);
-        assert!(matches!(f.exits[0].kind, ExitKind::Direct { target: 0x1007 }));
-        assert!(matches!(f.exits[1].kind, ExitKind::Direct { target: 0x1002 }));
+        assert!(matches!(
+            f.exits[0].kind,
+            ExitKind::Direct { target: 0x1007 }
+        ));
+        assert!(matches!(
+            f.exits[1].kind,
+            ExitKind::Direct { target: 0x1002 }
+        ));
     }
 
     #[test]

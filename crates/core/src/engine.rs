@@ -6,9 +6,21 @@
 //! performance-critical transitions — the dotted lines of Figure 1 — are
 //! where the overhead cost model charges cycles: context switches, dispatch
 //! work, and indirect-branch hashtable lookups.
+//!
+//! # Resumable sessions
+//!
+//! Execution is organized as a *session*: [`Rio::step`] advances the
+//! program by a bounded amount of work (a [`StepBudget`] of instructions,
+//! cycles, and/or wall-clock time) and returns a [`StepOutcome`]. A session
+//! suspends only at engine safe points — control out of the code cache, or
+//! between bounded execution chunks with all engine state quiescent — so a
+//! suspended `Rio` can be resumed (or handed to another thread; the engine
+//! is `Send`) with no observable difference from an uninterrupted run.
+//! [`Rio::run`] is a thin wrapper that steps with an unlimited budget.
 
 use rio_ia32::InstrList;
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use rio_ia32::Reg;
 use rio_sim::cpu::CpuState;
@@ -42,6 +54,163 @@ pub struct RioRunResult {
     pub sideline_cycles: u64,
 }
 
+/// A bound on how much work one [`Rio::step`] call may perform before
+/// suspending. All limits are measured from the start of the step; absent
+/// limits are unlimited. Budgets are checked at engine safe points, so a
+/// step may slightly overshoot a cycle or wall-clock limit (never by more
+/// than one bounded execution chunk).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepBudget {
+    /// Suspend after this many simulated instructions.
+    pub max_instructions: Option<u64>,
+    /// Suspend after this many simulated cycles.
+    pub max_cycles: Option<u64>,
+    /// Suspend after this much host wall-clock time (hard timeout for
+    /// non-terminating images).
+    pub timeout: Option<Duration>,
+}
+
+impl StepBudget {
+    /// No limits: run to completion (or fault).
+    pub fn unlimited() -> StepBudget {
+        StepBudget::default()
+    }
+
+    /// Limit the step to `n` simulated instructions.
+    pub fn instructions(n: u64) -> StepBudget {
+        StepBudget {
+            max_instructions: Some(n),
+            ..StepBudget::default()
+        }
+    }
+
+    /// Limit the step to `n` simulated cycles.
+    pub fn cycles(n: u64) -> StepBudget {
+        StepBudget {
+            max_cycles: Some(n),
+            ..StepBudget::default()
+        }
+    }
+
+    /// Add an instruction limit to this budget.
+    pub fn with_max_instructions(mut self, n: u64) -> StepBudget {
+        self.max_instructions = Some(n);
+        self
+    }
+
+    /// Add a cycle limit to this budget.
+    pub fn with_max_cycles(mut self, n: u64) -> StepBudget {
+        self.max_cycles = Some(n);
+        self
+    }
+
+    /// Add a host wall-clock timeout to this budget.
+    pub fn with_timeout(mut self, d: Duration) -> StepBudget {
+        self.timeout = Some(d);
+        self
+    }
+}
+
+/// Which budget limit caused a step to suspend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The instruction limit was reached.
+    InstructionBudget,
+    /// The cycle limit was reached.
+    CycleBudget,
+    /// The wall-clock timeout expired.
+    Timeout,
+}
+
+/// A terminal execution failure (invalid code, divide error, control at an
+/// unclassifiable address). [`Rio::run`] panics on faults — they indicate
+/// workload or engine bugs — but [`Rio::step`] surfaces them so harnesses
+/// (fault injection, fuzzers) can observe and report them.
+#[derive(Clone, Debug)]
+pub struct Fault {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// `eip` at the time of the fault.
+    pub eip: u32,
+}
+
+/// Result of one [`Rio::step`] call.
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// The budget was exhausted; the session is suspended at a safe point
+    /// and can be resumed with another `step`.
+    Running(StopReason),
+    /// The application exited with this status. Subsequent steps return
+    /// `Exited` again without executing anything.
+    Exited(i32),
+    /// Execution failed; the session cannot make further progress.
+    Faulted(Fault),
+}
+
+/// Budget accounting for one step: counter values at the start of the step
+/// plus the wall-clock deadline.
+struct BudgetMeter {
+    budget: StepBudget,
+    start_instructions: u64,
+    start_cycles: u64,
+    deadline: Option<Instant>,
+}
+
+/// Fuel per bounded machine-execution chunk when a cycle or wall-clock
+/// limit needs periodic re-checking.
+const CHUNK_FUEL: u64 = 8192;
+
+/// Fuel for an effectively-unbounded machine run (matches `Machine::run`).
+const UNLIMITED_FUEL: u64 = 1 << 44;
+
+impl BudgetMeter {
+    fn start(budget: StepBudget, counters: &Counters) -> BudgetMeter {
+        BudgetMeter {
+            budget,
+            start_instructions: counters.instructions,
+            start_cycles: counters.cycles,
+            deadline: budget.timeout.map(|d| Instant::now() + d),
+        }
+    }
+
+    /// Check the budget at a safe point.
+    fn exhausted(&self, counters: &Counters) -> Option<StopReason> {
+        if let Some(n) = self.budget.max_instructions {
+            if counters.instructions - self.start_instructions >= n {
+                return Some(StopReason::InstructionBudget);
+            }
+        }
+        if let Some(n) = self.budget.max_cycles {
+            if counters.cycles - self.start_cycles >= n {
+                return Some(StopReason::CycleBudget);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(StopReason::Timeout);
+            }
+        }
+        None
+    }
+
+    /// Fuel for the next machine-execution chunk: exactly the remaining
+    /// instruction budget when one is set (so instruction limits are
+    /// precise), bounded when cycle/time limits need periodic re-checking,
+    /// effectively unlimited otherwise.
+    fn fuel(&self, counters: &Counters) -> u64 {
+        let mut fuel = if self.budget.max_cycles.is_some() || self.deadline.is_some() {
+            CHUNK_FUEL
+        } else {
+            UNLIMITED_FUEL
+        };
+        if let Some(n) = self.budget.max_instructions {
+            let used = counters.instructions - self.start_instructions;
+            fuel = fuel.min(n.saturating_sub(used)).max(1);
+        }
+        fuel
+    }
+}
+
 /// The RIO engine coupled with a client.
 ///
 /// # Examples
@@ -55,11 +224,52 @@ pub struct RioRunResult {
 /// let result = rio.run();
 /// assert_eq!(result.exit_code, 0);
 /// ```
+///
+/// Stepping with a budget:
+///
+/// ```no_run
+/// use rio_core::{Rio, NullClient, Options, StepBudget, StepOutcome};
+/// use rio_sim::{Image, CpuKind};
+///
+/// let image = Image::from_code(vec![0xf4]);
+/// let mut rio = Rio::new(&image, Options::default(), CpuKind::Pentium4, NullClient);
+/// loop {
+///     match rio.step(StepBudget::instructions(10_000)) {
+///         StepOutcome::Running(_) => continue, // safe point: inspect, flush, resume
+///         StepOutcome::Exited(code) => break assert_eq!(code, 0),
+///         StepOutcome::Faulted(f) => panic!("{}", f.message),
+///     }
+/// }
+/// ```
 pub struct Rio<C: Client> {
     /// Engine state (exposed so harnesses can inspect cache and stats).
     pub core: Core,
     /// The coupled client.
     pub client: C,
+    /// Session progress (which mode is active, suspended-thread state).
+    phase: Phase,
+}
+
+/// Session progress of a [`Rio`].
+enum Phase {
+    /// No step taken yet; client `init`/`thread_init` hooks not yet fired.
+    Unstarted,
+    /// Pure-emulation session (Table 1, row 1).
+    Emulating,
+    /// Code-cache session with its scheduler state.
+    InCache(CacheSession),
+    /// The application exited with this status.
+    Finished(i32),
+}
+
+/// Suspendable state of a code-cache session: everything `run_cache` used
+/// to keep in locals.
+struct CacheSession {
+    /// Threads waiting for their turn on the (single) simulated CPU.
+    parked: VecDeque<Parked>,
+    /// Engine action to perform before re-entering the cache; `None` while
+    /// the machine is mid-execution (suspended by fuel, not by the engine).
+    pending: Option<Resume>,
 }
 
 enum Leave {
@@ -95,10 +305,15 @@ impl<C: Client> Rio<C> {
         Rio {
             core: Core::new(image, options, kind),
             client,
+            phase: Phase::Unstarted,
         }
     }
 
     /// Run the application to completion under the engine.
+    ///
+    /// Equivalent to stepping with [`StepBudget::unlimited`] until exit:
+    /// counters, stats, and output are bit-identical however the run is
+    /// sliced into steps.
     ///
     /// # Panics
     ///
@@ -106,14 +321,92 @@ impl<C: Client> Rio<C> {
     /// control reaches an address the engine cannot classify — these
     /// indicate workload or engine bugs, not recoverable conditions.
     pub fn run(&mut self) -> RioRunResult {
-        self.client.init(&mut self.core);
-        self.client.thread_init(&mut self.core);
-        let exit_code = match self.core.options.mode {
-            ExecMode::Emulate => self.run_emulate(),
-            ExecMode::Cache => self.run_cache(),
-        };
-        self.client.thread_exit(&mut self.core);
-        self.client.on_exit(&mut self.core);
+        loop {
+            match self.step(StepBudget::unlimited()) {
+                StepOutcome::Running(_) => {}
+                StepOutcome::Exited(code) => return self.result_snapshot(code),
+                StepOutcome::Faulted(f) => panic!("{}", f.message),
+            }
+        }
+    }
+
+    /// Advance the session by at most `budget` worth of work.
+    ///
+    /// The first step fires the client `init`/`thread_init` hooks; the step
+    /// that observes program exit fires `thread_exit`/`on_exit` before
+    /// returning [`StepOutcome::Exited`]. A suspended session holds all its
+    /// state in `self` — resuming with another `step` (from this thread or
+    /// another; `Rio` is `Send`) continues exactly where execution stopped,
+    /// and the interleaving of steps has no effect on counters, stats, or
+    /// output.
+    pub fn step(&mut self, budget: StepBudget) -> StepOutcome {
+        if matches!(self.phase, Phase::Unstarted) {
+            self.client.init(&mut self.core);
+            self.client.thread_init(&mut self.core);
+            self.phase = match self.core.options.mode {
+                ExecMode::Emulate => {
+                    let (s, e) = self.core.app_code_range;
+                    self.core
+                        .machine
+                        .set_exec_regions(vec![ExecRegion::new(s, e)]);
+                    Phase::Emulating
+                }
+                ExecMode::Cache => Phase::InCache(CacheSession {
+                    parked: VecDeque::new(),
+                    pending: Some(Resume::Dispatch(self.core.app_entry)),
+                }),
+            };
+        }
+        let meter = BudgetMeter::start(budget, &self.core.machine.counters);
+        // Take the phase out so the step helpers can borrow `self` freely.
+        match std::mem::replace(&mut self.phase, Phase::Unstarted) {
+            Phase::Unstarted => unreachable!("session started above"),
+            Phase::Finished(code) => {
+                self.phase = Phase::Finished(code);
+                StepOutcome::Exited(code)
+            }
+            Phase::Emulating => {
+                let outcome = self.step_emulate(&meter);
+                self.settle(Phase::Emulating, outcome)
+            }
+            Phase::InCache(mut session) => {
+                let outcome = self.step_cache(&mut session, &meter);
+                self.settle(Phase::InCache(session), outcome)
+            }
+        }
+    }
+
+    /// Record the outcome of a step: on exit, fire the exit hooks exactly
+    /// once and pin the phase to `Finished`; otherwise restore the
+    /// suspended phase.
+    fn settle(&mut self, suspended: Phase, outcome: StepOutcome) -> StepOutcome {
+        match outcome {
+            StepOutcome::Exited(code) => {
+                self.client.thread_exit(&mut self.core);
+                self.client.on_exit(&mut self.core);
+                self.phase = Phase::Finished(code);
+                StepOutcome::Exited(code)
+            }
+            other => {
+                self.phase = suspended;
+                other
+            }
+        }
+    }
+
+    /// Whether the session has exited, and with what status.
+    pub fn exit_status(&self) -> Option<i32> {
+        match self.phase {
+            Phase::Finished(code) => Some(code),
+            _ => None,
+        }
+    }
+
+    /// The run result as of now, with the given exit status. For completed
+    /// sessions this equals what [`Rio::run`] returns; for suspended ones
+    /// it is a partial snapshot (harnesses reporting on budget-exhausted
+    /// runs pass their own status convention).
+    pub fn result_snapshot(&self, exit_code: i32) -> RioRunResult {
         RioRunResult {
             exit_code,
             app_output: self.core.os.output.clone(),
@@ -126,94 +419,113 @@ impl<C: Client> Rio<C> {
 
     // ----- emulation mode (Table 1, row 1) --------------------------------
 
-    fn run_emulate(&mut self) -> i32 {
-        let (s, e) = self.core.app_code_range;
-        self.core
-            .machine
-            .set_exec_regions(vec![ExecRegion::new(s, e)]);
+    fn step_emulate(&mut self, meter: &BudgetMeter) -> StepOutcome {
         loop {
+            // Every emulated instruction boundary is a safe point.
+            if let Some(reason) = meter.exhausted(&self.core.machine.counters) {
+                return StepOutcome::Running(reason);
+            }
             let per_instr = self.core.costs.emulate_per_instr;
             self.core.machine.charge(per_instr);
             self.core.stats.emulated_instrs += 1;
             match self.core.machine.run_steps(1) {
                 CpuExit::FuelExhausted => {}
-                CpuExit::Halt => return self.core.os.exit_code.unwrap_or(0),
+                CpuExit::Halt => return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0)),
                 CpuExit::Syscall(SYSCALL_VECTOR) => {
                     let (machine, os) = (&mut self.core.machine, &mut self.core.os);
                     if !os.handle_syscall(machine) {
-                        return os.exit_code.unwrap_or(0);
+                        return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0));
                     }
                 }
-                other => panic!("emulation failed: {other:?}"),
+                other => {
+                    return StepOutcome::Faulted(Fault {
+                        message: format!("emulation failed: {other:?}"),
+                        eip: self.core.machine.cpu.eip,
+                    })
+                }
             }
         }
     }
 
     // ----- code-cache mode -------------------------------------------------
 
-    fn run_cache(&mut self) -> i32 {
-        let mut parked: VecDeque<Parked> = VecDeque::new();
-        let mut action = Resume::Dispatch(self.core.app_entry);
+    fn step_cache(&mut self, session: &mut CacheSession, meter: &BudgetMeter) -> StepOutcome {
         loop {
-            match action {
-                Resume::Dispatch(t) => {
-                    let frag = self.dispatch(t);
-                    self.enter(frag);
-                }
-                Resume::InCache(regions) => {
-                    self.core.machine.set_exec_regions(regions);
+            // Safe point: either the engine is about to act (control is out
+            // of the cache) or the machine is suspended between fuel chunks.
+            if let Some(reason) = meter.exhausted(&self.core.machine.counters) {
+                return StepOutcome::Running(reason);
+            }
+            if let Some(action) = session.pending.take() {
+                match action {
+                    Resume::Dispatch(t) => {
+                        let frag = self.dispatch(t);
+                        self.enter(frag);
+                    }
+                    Resume::InCache(regions) => {
+                        self.core.machine.set_exec_regions(regions);
+                    }
                 }
             }
-            action = loop {
-                match self.core.machine.run() {
-                    CpuExit::Halt => match self.retire_thread(&mut parked) {
-                        Some(next) => break next,
-                        None => return self.core.os.exit_code.unwrap_or(0),
-                    },
-                    CpuExit::Syscall(SYSCALL_VECTOR) => {
-                        let next_tid = self.spawnable_tid();
-                        let act = {
-                            let (machine, os) = (&mut self.core.machine, &mut self.core.os);
-                            os.handle_syscall_threaded(machine, next_tid)
-                        };
-                        match act {
-                            SyscallAction::Continue => {}
-                            SyscallAction::ExitProgram => {
-                                return self.core.os.exit_code.unwrap_or(0);
+            let fuel = meter.fuel(&self.core.machine.counters);
+            match self.core.machine.run_steps(fuel) {
+                // Out of fuel, not out of work: loop to the budget check.
+                CpuExit::FuelExhausted => {}
+                CpuExit::Halt => match self.retire_thread(&mut session.parked) {
+                    Some(next) => session.pending = Some(next),
+                    None => return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0)),
+                },
+                CpuExit::Syscall(SYSCALL_VECTOR) => {
+                    let next_tid = self.spawnable_tid();
+                    let act = {
+                        let (machine, os) = (&mut self.core.machine, &mut self.core.os);
+                        os.handle_syscall_threaded(machine, next_tid)
+                    };
+                    match act {
+                        SyscallAction::Continue => {}
+                        SyscallAction::ExitProgram => {
+                            return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0));
+                        }
+                        SyscallAction::Spawn { entry } => {
+                            self.spawn_thread(&mut session.parked, entry);
+                        }
+                        SyscallAction::Yield => {
+                            if let Some(next) = session.parked.pop_front() {
+                                let regions = self.core.machine.exec_regions().to_vec();
+                                let prev = Parked {
+                                    tid: self.core.cur,
+                                    cpu: self.core.machine.cpu.clone(),
+                                    resume: Resume::InCache(regions),
+                                };
+                                session.parked.push_back(prev);
+                                session.pending = Some(self.switch_to(next));
                             }
-                            SyscallAction::Spawn { entry } => {
-                                self.spawn_thread(&mut parked, entry);
-                            }
-                            SyscallAction::Yield => {
-                                if let Some(next) = parked.pop_front() {
-                                    let regions = self.core.machine.exec_regions().to_vec();
-                                    let prev = Parked {
-                                        tid: self.core.cur,
-                                        cpu: self.core.machine.cpu.clone(),
-                                        resume: Resume::InCache(regions),
-                                    };
-                                    parked.push_back(prev);
-                                    break self.switch_to(next);
-                                }
-                            }
-                            SyscallAction::ThreadExit => {
-                                match self.retire_thread(&mut parked) {
-                                    Some(next) => break next,
-                                    None => return self.core.os.exit_code.unwrap_or(0),
+                        }
+                        SyscallAction::ThreadExit => {
+                            match self.retire_thread(&mut session.parked) {
+                                Some(next) => session.pending = Some(next),
+                                None => {
+                                    return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0))
                                 }
                             }
                         }
                     }
-                    CpuExit::OutOfRegion(addr) => match self.handle_leave(addr) {
-                        Leave::Resume => {}
-                        Leave::Dispatch(t) => break Resume::Dispatch(t),
-                    },
-                    other => panic!(
-                        "execution failed: {other:?} at eip={:#x}",
-                        self.core.machine.cpu.eip
-                    ),
                 }
-            };
+                CpuExit::OutOfRegion(addr) => match self.handle_leave(addr) {
+                    Ok(Leave::Resume) => {}
+                    Ok(Leave::Dispatch(t)) => session.pending = Some(Resume::Dispatch(t)),
+                    Err(fault) => return StepOutcome::Faulted(fault),
+                },
+                other => {
+                    return StepOutcome::Faulted(Fault {
+                        message: format!(
+                            "execution failed: {other:?} at eip={:#x}",
+                            self.core.machine.cpu.eip
+                        ),
+                        eip: self.core.machine.cpu.eip,
+                    })
+                }
+            }
         }
     }
 
@@ -232,13 +544,18 @@ impl<C: Client> Rio<C> {
     /// stack, parked until its first turn. Fires `thread_init`.
     fn spawn_thread(&mut self, parked: &mut VecDeque<Parked>, entry: u32) {
         let tid = self.core.threads.len();
-        self.core.threads.push(crate::core::ThreadCore::new(tid as u32));
+        self.core
+            .threads
+            .push(crate::core::ThreadCore::new(tid as u32));
         let prev = self.core.cur;
         self.core.cur = tid;
         self.client.thread_init(&mut self.core);
         self.core.cur = prev;
         let mut cpu = CpuState::new();
-        cpu.set_reg(Reg::Esp, Image::STACK_TOP - tid as u32 * THREAD_STACK_SIZE - 16);
+        cpu.set_reg(
+            Reg::Esp,
+            Image::STACK_TOP - tid as u32 * THREAD_STACK_SIZE - 16,
+        );
         parked.push_back(Parked {
             tid,
             cpu,
@@ -294,6 +611,9 @@ impl<C: Client> Rio<C> {
         for flushed_tag in self.core.process_cache_pressure() {
             self.client.fragment_deleted(&mut self.core, flushed_tag);
         }
+        for flushed_tag in self.core.take_requested_flush() {
+            self.client.fragment_deleted(&mut self.core, flushed_tag);
+        }
         for (s_tag, arg) in self.core.take_sideline_requests() {
             self.client.sideline_optimize(&mut self.core, s_tag, arg);
         }
@@ -317,10 +637,15 @@ impl<C: Client> Rio<C> {
     }
 
     fn count_trace_head(&mut self, bb: FragmentId, tag: u32) {
-        if self.core.threads[self.core.cur].recording.is_some() || !self.core.options.enable_traces {
+        if self.core.threads[self.core.cur].recording.is_some() || !self.core.options.enable_traces
+        {
             return;
         }
-        if !self.core.threads[self.core.cur].cache.frag(bb).is_trace_head {
+        if !self.core.threads[self.core.cur]
+            .cache
+            .frag(bb)
+            .is_trace_head
+        {
             return;
         }
         let increment_cost = self.core.costs.counter_increment;
@@ -331,7 +656,10 @@ impl<C: Client> Rio<C> {
             f.counter
         };
         if counter >= self.core.options.trace_threshold
-            && self.core.threads[self.core.cur].cache.lookup_trace(tag).is_none()
+            && self.core.threads[self.core.cur]
+                .cache
+                .lookup_trace(tag)
+                .is_none()
         {
             self.core.threads[self.core.cur].recording = Some(Recording {
                 trace_tag: tag,
@@ -370,20 +698,23 @@ impl<C: Client> Rio<C> {
         )
         .unwrap_or_else(|e| panic!("failed to emit block {tag:#x}: {e}"));
         if self.core.marked_heads.contains(&tag) {
-            self.core.threads[self.core.cur].cache.frag_mut(id).is_trace_head = true;
+            self.core.threads[self.core.cur]
+                .cache
+                .frag_mut(id)
+                .is_trace_head = true;
         }
         id
     }
 
     /// Classify and handle control leaving the permitted execution region.
-    fn handle_leave(&mut self, addr: u32) -> Leave {
+    fn handle_leave(&mut self, addr: u32) -> Result<Leave, Fault> {
         // Clean call into client code.
         if let Some(token) = layout::clean_call_index(addr) {
-            return self.handle_clean_call(token);
+            return Ok(self.handle_clean_call(token));
         }
         // Exit stub sentinel.
         if let Some(stub) = layout::stub_index(addr) {
-            return self.handle_stub(stub);
+            return Ok(self.handle_stub(stub));
         }
         // During recording, a linked exit jumps straight to another
         // fragment's entry, which lies outside the restricted region.
@@ -399,15 +730,18 @@ impl<C: Client> Rio<C> {
                     // Recording must step through basic blocks: entering a
                     // trace would execute many blocks with no observable
                     // crossings. Re-dispatch so the block copy runs instead.
-                    return self.record_crossing_dispatch(tag);
+                    return Ok(self.record_crossing_dispatch(tag));
                 }
-                return self.record_crossing(tag, addr);
+                return Ok(self.record_crossing(tag, addr));
             }
         }
-        panic!(
-            "control reached unclassifiable address {addr:#x} (eip {:#x})",
-            self.core.machine.cpu.eip
-        );
+        Err(Fault {
+            message: format!(
+                "control reached unclassifiable address {addr:#x} (eip {:#x})",
+                self.core.machine.cpu.eip
+            ),
+            eip: self.core.machine.cpu.eip,
+        })
     }
 
     fn handle_clean_call(&mut self, token: u32) -> Leave {
@@ -433,7 +767,8 @@ impl<C: Client> Rio<C> {
             .cache
             .stub(stub)
             .unwrap_or_else(|| panic!("unknown stub {stub}"));
-        let exit_kind = self.core.threads[self.core.cur].cache.frag(rec.frag).exits[rec.exit_idx].kind;
+        let exit_kind =
+            self.core.threads[self.core.cur].cache.frag(rec.frag).exits[rec.exit_idx].kind;
         match exit_kind {
             ExitKind::Direct { target } => {
                 self.core.threads[self.core.cur].last_exit_was_return = false;
@@ -462,7 +797,9 @@ impl<C: Client> Rio<C> {
             return;
         }
         if self.core.threads[self.core.cur].cache.frag(src).deleted
-            || self.core.threads[self.core.cur].cache.frag(src).exits[exit_idx].linked_to.is_some()
+            || self.core.threads[self.core.cur].cache.frag(src).exits[exit_idx]
+                .linked_to
+                .is_some()
         {
             return;
         }
@@ -478,7 +815,13 @@ impl<C: Client> Rio<C> {
         if dstf.deleted {
             return;
         }
-        link_exit(&mut self.core.machine, &mut self.core.threads[self.core.cur].cache, src, exit_idx, dst);
+        link_exit(
+            &mut self.core.machine,
+            &mut self.core.threads[self.core.cur].cache,
+            src,
+            exit_idx,
+            dst,
+        );
         let patch = self.core.costs.link_patch;
         self.core.machine.charge(patch);
         self.core.stats.links += 1;
@@ -587,9 +930,15 @@ impl<C: Client> Rio<C> {
     /// Dynamo's default trace termination test: stop at a backward branch or
     /// upon reaching an existing trace or trace head, or at the size cap.
     fn default_end_trace(&self, next_tag: u32) -> bool {
-        let rec = self.core.threads[self.core.cur].recording.as_ref().expect("recording active");
+        let rec = self.core.threads[self.core.cur]
+            .recording
+            .as_ref()
+            .expect("recording active");
         rec.tags.len() >= self.core.options.max_trace_bbs
-            || self.core.threads[self.core.cur].cache.lookup_trace(next_tag).is_some()
+            || self.core.threads[self.core.cur]
+                .cache
+                .lookup_trace(next_tag)
+                .is_some()
             || self.core.is_trace_head(next_tag)
             || next_tag <= *rec.tags.last().expect("nonempty recording")
     }
@@ -597,7 +946,10 @@ impl<C: Client> Rio<C> {
     /// Stitch the recorded blocks into a trace, run the client trace hook,
     /// and emit it into the trace cache.
     fn finish_recording(&mut self) {
-        let rec = self.core.threads[self.core.cur].recording.take().expect("recording active");
+        let rec = self.core.threads[self.core.cur]
+            .recording
+            .take()
+            .expect("recording active");
         let mut trace_il = InstrList::new();
         let mut total_instrs = 0usize;
         let n = rec.tags.len();
@@ -640,7 +992,8 @@ impl<C: Client> Rio<C> {
         self.core.stats.traces_built += 1;
         self.core.stats.trace_instrs += total_instrs as u64;
 
-        self.client.trace(&mut self.core, rec.trace_tag, &mut trace_il);
+        self.client
+            .trace(&mut self.core, rec.trace_tag, &mut trace_il);
 
         let custom = std::mem::take(&mut self.core.pending_custom_stubs);
         let id = emit_fragment(

@@ -50,6 +50,6 @@ pub use crate::core::Core;
 pub use cache::{ExitKind, Fragment, FragmentId, FragmentKind, IndKind};
 pub use client::{Client, EndTraceDecision, NullClient};
 pub use config::{layout, ExecMode, Options, RioCosts};
-pub use engine::{Rio, RioRunResult};
+pub use engine::{Fault, Rio, RioRunResult, StepBudget, StepOutcome, StopReason};
 pub use mangle::{elide_ret_check, find_ib_checks, IbCheck, Note};
 pub use stats::Stats;

@@ -124,17 +124,30 @@ mod tests {
         let mut m = Machine::new(CpuKind::Pentium4);
         let mut cache = CodeCache::new();
         // A at 0x1000: jmp 0x2000
-        let mut a = InstrList::decode_block(&[0xE9, 0xFB, 0x0F, 0x00, 0x00], 0x1000, Level::L3)
-            .unwrap();
+        let mut a =
+            InstrList::decode_block(&[0xE9, 0xFB, 0x0F, 0x00, 0x00], 0x1000, Level::L3).unwrap();
         mangle_bb(&mut a, 0x1005);
-        let fa = emit_fragment(&mut m, &mut cache, FragmentKind::BasicBlock, 0x1000, a, vec![])
-            .unwrap();
+        let fa = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x1000,
+            a,
+            vec![],
+        )
+        .unwrap();
         // B at 0x2000: mov eax, 9; hlt
-        let mut b =
-            InstrList::decode_block(&[0xB8, 9, 0, 0, 0, 0xF4], 0x2000, Level::L3).unwrap();
+        let mut b = InstrList::decode_block(&[0xB8, 9, 0, 0, 0, 0xF4], 0x2000, Level::L3).unwrap();
         mangle_bb(&mut b, 0x2006);
-        let fb = emit_fragment(&mut m, &mut cache, FragmentKind::BasicBlock, 0x2000, b, vec![])
-            .unwrap();
+        let fb = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x2000,
+            b,
+            vec![],
+        )
+        .unwrap();
         m.set_exec_regions(vec![ExecRegion::new(Image::CACHE_BASE, Image::CACHE_END)]);
         (m, cache, fa, fb)
     }

@@ -16,7 +16,7 @@
 //! clients can recognize them — the custom-trace client uses this to elide
 //! return checks entirely (§4.4).
 
-use rio_ia32::{create, Instr, InstrId, InstrList, MemRef, Opcode, OpSize, Opnd, Reg, Target};
+use rio_ia32::{create, Instr, InstrId, InstrList, MemRef, OpSize, Opcode, Opnd, Reg, Target};
 
 use crate::cache::IndKind;
 use crate::config::layout;
@@ -562,7 +562,10 @@ mod tests {
         let mut il = decoded_block(&[0xC2, 0x08, 0x00], 0x1000);
         mangle_bb(&mut il, 0x1003);
         let ops: Vec<_> = il.iter().map(|i| i.opcode().unwrap()).collect();
-        assert_eq!(ops, vec![Opcode::Mov, Opcode::Pop, Opcode::Lea, Opcode::Jmp]);
+        assert_eq!(
+            ops,
+            vec![Opcode::Mov, Opcode::Pop, Opcode::Lea, Opcode::Jmp]
+        );
     }
 
     #[test]
@@ -572,7 +575,10 @@ mod tests {
         let mut il = decoded_block(&[0xFF, 0x54, 0x24, 0x04], 0x1000);
         mangle_bb(&mut il, 0x1004);
         let ops: Vec<_> = il.iter().map(|i| i.opcode().unwrap()).collect();
-        assert_eq!(ops, vec![Opcode::Mov, Opcode::Mov, Opcode::Push, Opcode::Jmp]);
+        assert_eq!(
+            ops,
+            vec![Opcode::Mov, Opcode::Mov, Opcode::Push, Opcode::Jmp]
+        );
     }
 
     #[test]

@@ -41,6 +41,41 @@ pub struct Stats {
     pub threads_spawned: u64,
 }
 
+impl Stats {
+    /// Accumulate another run's statistics into this one, field-wise — the
+    /// aggregation primitive behind suite-level reporting (sum the stats of
+    /// every benchmark run, however the runs were distributed over worker
+    /// threads).
+    pub fn merge(&mut self, other: &Stats) {
+        self.bbs_built += other.bbs_built;
+        self.bb_instrs += other.bb_instrs;
+        self.traces_built += other.traces_built;
+        self.trace_instrs += other.trace_instrs;
+        self.dispatches += other.dispatches;
+        self.context_switches += other.context_switches;
+        self.ib_lookups += other.ib_lookups;
+        self.ib_lookup_hits += other.ib_lookup_hits;
+        self.links += other.links;
+        self.unlinks += other.unlinks;
+        self.replacements += other.replacements;
+        self.deletions += other.deletions;
+        self.clean_calls += other.clean_calls;
+        self.emulated_instrs += other.emulated_instrs;
+        self.trace_heads += other.trace_heads;
+        self.cache_flushes += other.cache_flushes;
+        self.threads_spawned += other.threads_spawned;
+    }
+
+    /// Sum a collection of per-run statistics into one aggregate.
+    pub fn aggregate<'a>(runs: impl IntoIterator<Item = &'a Stats>) -> Stats {
+        let mut total = Stats::default();
+        for s in runs {
+            total.merge(s);
+        }
+        total
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -70,5 +105,34 @@ mod tests {
     fn display_is_nonempty() {
         let s = Stats::default();
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = Stats {
+            bbs_built: 1,
+            bb_instrs: 2,
+            traces_built: 3,
+            trace_instrs: 4,
+            dispatches: 5,
+            context_switches: 6,
+            ib_lookups: 7,
+            ib_lookup_hits: 8,
+            links: 9,
+            unlinks: 10,
+            replacements: 11,
+            deletions: 12,
+            clean_calls: 13,
+            emulated_instrs: 14,
+            trace_heads: 15,
+            cache_flushes: 16,
+            threads_spawned: 17,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.bbs_built, 2);
+        assert_eq!(b.threads_spawned, 34);
+        assert_eq!(Stats::aggregate([&a, &a, &a]).dispatches, 15);
+        assert_eq!(Stats::aggregate([]), Stats::default());
     }
 }

@@ -4,7 +4,7 @@
 
 use rio_core::{Client, EndTraceDecision, FragmentKind, NullClient, Options, Rio};
 use rio_ia32::encode::encode_list;
-use rio_ia32::{create, Cc, InstrList, MemRef, Opnd, OpSize, Reg, Target};
+use rio_ia32::{create, Cc, InstrList, MemRef, OpSize, Opnd, Reg, Target};
 use rio_sim::{run_native, CpuKind, Image};
 
 /// Assemble a program from a builder closure.
@@ -107,7 +107,8 @@ fn indirect_program(iters: i32) -> Image {
         let addr = |id| Image::CODE_BASE + enc.offset_of(id).unwrap();
         let even_addr = addr(even);
         let odd_addr = addr(odd);
-        il.get_mut(patch_a).set_src(0, Opnd::imm32(even_addr as i32));
+        il.get_mut(patch_a)
+            .set_src(0, Opnd::imm32(even_addr as i32));
         il.get_mut(patch_b).set_src(0, Opnd::imm32(odd_addr as i32));
     })
 }
@@ -300,7 +301,12 @@ impl Client for HookCounter {
 #[test]
 fn client_hooks_fire_in_order() {
     let img = loop_program(500);
-    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, HookCounter::default());
+    let mut rio = Rio::new(
+        &img,
+        Options::full(),
+        CpuKind::Pentium4,
+        HookCounter::default(),
+    );
     let r = rio.run();
     assert_eq!(rio.client.init, 1);
     assert_eq!(rio.client.exit, 1);
@@ -417,7 +423,12 @@ impl Client for SelfRewriter {
 #[test]
 fn fragment_replacement_from_inside_the_fragment_is_safe() {
     let img = loop_program(2_000);
-    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, SelfRewriter::default());
+    let mut rio = Rio::new(
+        &img,
+        Options::full(),
+        CpuKind::Pentium4,
+        SelfRewriter::default(),
+    );
     let r = rio.run();
     let native = run_native(&img, CpuKind::Pentium4);
     assert_eq!(r.exit_code, native.exit_code, "replacement broke execution");
@@ -517,7 +528,10 @@ fn fragment_deleted_fires_for_flushed_fragments() {
     let mut rio = Rio::new(&img, opts, CpuKind::Pentium4, DeletionLog::default());
     let r = rio.run();
     assert!(r.stats.cache_flushes > 0);
-    assert!(!rio.client.0.is_empty(), "hooks must fire for flushed fragments");
+    assert!(
+        !rio.client.0.is_empty(),
+        "hooks must fire for flushed fragments"
+    );
 }
 
 #[test]
@@ -529,7 +543,10 @@ fn fragment_report_and_disassembly_describe_the_cache() {
     assert!(report.contains("bb    tag=0x00400000"), "{report}");
     assert!(report.contains("trace"), "{report}");
     assert!(report.contains("trace head"), "{report}");
-    let disasm = rio.core.disassemble_fragment(0x0040_0000).expect("entry fragment");
+    let disasm = rio
+        .core
+        .disassemble_fragment(0x0040_0000)
+        .expect("entry fragment");
     assert!(disasm.contains("mov"), "{disasm}");
     // The body ends with the translated exit branch.
     assert!(disasm.contains("jmp"), "{disasm}");

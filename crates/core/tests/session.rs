@@ -1,0 +1,301 @@
+//! Resumable-session tests: the stepper API must suspend and resume with
+//! no observable effect on execution, budgets must be honored at safe
+//! points, the engine must be `Send`, and safe-point cache flushes must
+//! fire the `fragment_deleted` hooks and leave execution correct.
+
+use std::time::Duration;
+
+use rio_core::{
+    Client, Core, NullClient, Options, Rio, RioRunResult, StepBudget, StepOutcome, StopReason,
+};
+use rio_ia32::encode::encode_list;
+use rio_ia32::{create, Cc, InstrList, Opnd, Reg, Target};
+use rio_sim::{CpuKind, Image, Machine};
+
+/// Assemble a program from a builder closure.
+fn program(build: impl FnOnce(&mut InstrList)) -> Image {
+    let mut il = InstrList::new();
+    build(&mut il);
+    Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+}
+
+fn exit_with(il: &mut InstrList, reg: Reg) {
+    if reg != Reg::Ebx {
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::reg(reg)));
+    }
+    il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+    il.push_back(create::int(0x80));
+}
+
+/// sum of 1..=n via a loop — hot enough to build traces.
+fn loop_program(n: i32) -> Image {
+    program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(n)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::reg(Reg::Esi)));
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+    })
+}
+
+/// An image that never terminates: `jmp self`.
+fn infinite_program() -> Image {
+    program(|il| {
+        let top = il.push_back(create::label());
+        let mut j = create::jmp(Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+    })
+}
+
+/// Drive a session to completion in budget-sized steps; count suspensions.
+fn run_in_steps<C: Client>(rio: &mut Rio<C>, budget: StepBudget) -> (RioRunResult, u64) {
+    let mut suspensions = 0;
+    loop {
+        match rio.step(budget) {
+            StepOutcome::Running(_) => suspensions += 1,
+            StepOutcome::Exited(code) => return (rio.result_snapshot(code), suspensions),
+            StepOutcome::Faulted(f) => panic!("unexpected fault: {}", f.message),
+        }
+    }
+}
+
+// ----- Send audit ---------------------------------------------------------
+
+#[test]
+fn engine_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Core>();
+    assert_send::<Machine>();
+    assert_send::<Rio<NullClient>>();
+    assert_send::<StepBudget>();
+    assert_send::<StepOutcome>();
+    assert_send::<RioRunResult>();
+}
+
+#[test]
+fn session_can_move_between_threads() {
+    let image = loop_program(500);
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    // Suspend mid-run on this thread...
+    let outcome = rio.step(StepBudget::instructions(100));
+    assert!(matches!(outcome, StepOutcome::Running(_)));
+    // ...finish on another.
+    let result = std::thread::spawn(move || rio.run()).join().unwrap();
+    let mut reference = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let expected = reference.run();
+    assert_eq!(result.exit_code, expected.exit_code);
+    assert_eq!(result.counters, expected.counters);
+    assert_eq!(result.stats, expected.stats);
+}
+
+// ----- suspend/resume transparency ----------------------------------------
+
+#[test]
+fn stepping_is_invisible_to_execution() {
+    let image = loop_program(400);
+    for opts in [
+        Options::emulation(),
+        Options::cache_only(),
+        Options::with_direct_links(),
+        Options::full(),
+    ] {
+        let mut reference = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
+        let uninterrupted = reference.run();
+
+        for budget in [
+            StepBudget::instructions(1),
+            StepBudget::instructions(97),
+            StepBudget::cycles(333),
+        ] {
+            let mut rio = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
+            let (stepped, suspensions) = run_in_steps(&mut rio, budget);
+            assert!(suspensions > 0, "budget {budget:?} never suspended");
+            assert_eq!(stepped.exit_code, uninterrupted.exit_code, "{budget:?}");
+            assert_eq!(stepped.counters, uninterrupted.counters, "{budget:?}");
+            assert_eq!(stepped.stats, uninterrupted.stats, "{budget:?}");
+            assert_eq!(stepped.app_output, uninterrupted.app_output, "{budget:?}");
+        }
+    }
+}
+
+#[test]
+fn run_after_steps_completes_the_session() {
+    let image = loop_program(300);
+    let mut reference = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let expected = reference.run();
+
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    assert!(matches!(
+        rio.step(StepBudget::instructions(50)),
+        StepOutcome::Running(StopReason::InstructionBudget)
+    ));
+    assert_eq!(rio.exit_status(), None);
+    let result = rio.run();
+    assert_eq!(result.exit_code, expected.exit_code);
+    assert_eq!(result.counters, expected.counters);
+    assert_eq!(result.stats, expected.stats);
+    assert_eq!(rio.exit_status(), Some(expected.exit_code));
+}
+
+#[test]
+fn stepping_a_finished_session_is_idempotent() {
+    let image = loop_program(50);
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let result = rio.run();
+    let counters = rio.core.machine.counters;
+    for _ in 0..3 {
+        match rio.step(StepBudget::unlimited()) {
+            StepOutcome::Exited(code) => assert_eq!(code, result.exit_code),
+            other => panic!("expected Exited, got {other:?}"),
+        }
+    }
+    assert_eq!(rio.core.machine.counters, counters, "no work after exit");
+}
+
+// ----- budget enforcement -------------------------------------------------
+
+#[test]
+fn instruction_budget_is_precise() {
+    let image = loop_program(10_000);
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let outcome = rio.step(StepBudget::instructions(1_000));
+    assert!(matches!(
+        outcome,
+        StepOutcome::Running(StopReason::InstructionBudget)
+    ));
+    assert_eq!(rio.core.machine.counters.instructions, 1_000);
+}
+
+#[test]
+fn cycle_budget_suspends() {
+    let image = loop_program(100_000);
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let outcome = rio.step(StepBudget::cycles(10_000));
+    assert!(matches!(
+        outcome,
+        StepOutcome::Running(StopReason::CycleBudget)
+    ));
+    assert!(rio.core.machine.counters.cycles >= 10_000);
+}
+
+#[test]
+fn timeout_interrupts_a_nonterminating_image() {
+    let image = infinite_program();
+    for opts in [Options::emulation(), Options::full()] {
+        let mut rio = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
+        let outcome = rio.step(StepBudget::unlimited().with_timeout(Duration::from_millis(50)));
+        assert!(
+            matches!(outcome, StepOutcome::Running(StopReason::Timeout)),
+            "expected timeout under {opts:?}, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn emulation_mode_honors_instruction_budgets() {
+    let image = loop_program(5_000);
+    let mut reference = Rio::new(&image, Options::emulation(), CpuKind::Pentium4, NullClient);
+    let expected = reference.run();
+    let mut rio = Rio::new(&image, Options::emulation(), CpuKind::Pentium4, NullClient);
+    let (stepped, suspensions) = run_in_steps(&mut rio, StepBudget::instructions(512));
+    assert!(suspensions > 0);
+    assert_eq!(stepped.exit_code, expected.exit_code);
+    assert_eq!(stepped.counters, expected.counters);
+    assert_eq!(stepped.stats, expected.stats);
+}
+
+// ----- safe-point cache flush under the stepper ---------------------------
+
+/// Counts `fragment_deleted` callbacks.
+#[derive(Default)]
+struct DeletionWatcher {
+    deleted_tags: Vec<u32>,
+}
+
+impl Client for DeletionWatcher {
+    fn name(&self) -> &'static str {
+        "deletion-watcher"
+    }
+
+    fn fragment_deleted(&mut self, _core: &mut Core, tag: u32) {
+        self.deleted_tags.push(tag);
+    }
+}
+
+#[test]
+fn flush_at_safe_point_mid_session() {
+    let image = loop_program(2_000);
+    let mut reference = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    let expected = reference.run();
+
+    let mut rio = Rio::new(
+        &image,
+        Options::full(),
+        CpuKind::Pentium4,
+        DeletionWatcher::default(),
+    );
+    // Run far enough that fragments exist, but suspend while the loop head
+    // is still dispatch-counted — so the post-flush iterations must rebuild
+    // it (and eventually re-grow the trace).
+    assert!(matches!(
+        rio.step(StepBudget::instructions(100)),
+        StepOutcome::Running(_)
+    ));
+    let live_before: Vec<u32> = rio
+        .core
+        .cache()
+        .iter()
+        .filter(|f| !f.deleted)
+        .map(|f| f.tag)
+        .collect();
+    assert!(!live_before.is_empty(), "no fragments built before flush");
+
+    // Flush the whole cache at the suspension safe point, then resume.
+    rio.core.request_cache_flush();
+    let code = loop {
+        match rio.step(StepBudget::instructions(500)) {
+            StepOutcome::Running(_) => {}
+            StepOutcome::Exited(code) => break code,
+            StepOutcome::Faulted(f) => panic!("fault after flush: {}", f.message),
+        }
+    };
+
+    // Correct result despite losing every fragment mid-run.
+    assert_eq!(code, expected.exit_code);
+    // Every pre-flush fragment was reported deleted.
+    for tag in &live_before {
+        assert!(
+            rio.client.deleted_tags.contains(tag),
+            "fragment {tag:#x} flushed without a fragment_deleted callback"
+        );
+    }
+    assert!(rio.core.stats.cache_flushes >= 1);
+    // Execution rebuilt the flushed loop block...
+    assert!(rio.core.stats.bbs_built > expected.stats.bbs_built);
+    assert!(rio.core.stats.dispatches > expected.stats.dispatches);
+    // ...and the trace was grown entirely after the flush (the flush reset
+    // the head counter before the threshold was ever reached).
+    assert_eq!(rio.core.stats.traces_built, expected.stats.traces_built);
+}
+
+#[test]
+fn flush_under_capacity_pressure_while_stepping() {
+    // Tiny cache limit: capacity flushes happen during the run; stepping
+    // must not change the outcome.
+    let image = loop_program(1_000);
+    let mut opts = Options::full();
+    opts.cache_limit = Some(2048);
+    let mut reference = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
+    let expected = reference.run();
+
+    let mut rio = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
+    let (stepped, _) = run_in_steps(&mut rio, StepBudget::instructions(64));
+    assert_eq!(stepped.exit_code, expected.exit_code);
+    assert_eq!(stepped.counters, expected.counters);
+    assert_eq!(stepped.stats, expected.stats);
+}

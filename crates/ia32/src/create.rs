@@ -132,7 +132,11 @@ pub fn sar(rm: Opnd, count: Opnd) -> Instr {
 
 /// Two-operand `imul dst, src` (`dst = dst * src`).
 pub fn imul(dst: Reg, src: Opnd) -> Instr {
-    Instr::new(Opcode::Imul, vec![src, Opnd::reg(dst)], vec![Opnd::reg(dst)])
+    Instr::new(
+        Opcode::Imul,
+        vec![src, Opnd::reg(dst)],
+        vec![Opnd::reg(dst)],
+    )
 }
 
 /// Three-operand `imul dst, src, imm`.
@@ -178,12 +182,20 @@ pub fn div(rm: Opnd) -> Instr {
 
 /// `cdq` — sign-extend `%eax` into `%edx`.
 pub fn cdq() -> Instr {
-    Instr::new(Opcode::Cdq, vec![Opnd::reg(Reg::Eax)], vec![Opnd::reg(Reg::Edx)])
+    Instr::new(
+        Opcode::Cdq,
+        vec![Opnd::reg(Reg::Eax)],
+        vec![Opnd::reg(Reg::Edx)],
+    )
 }
 
 /// `cwde` — sign-extend `%ax` into `%eax`.
 pub fn cwde() -> Instr {
-    Instr::new(Opcode::Cwde, vec![Opnd::reg(Reg::Ax)], vec![Opnd::reg(Reg::Eax)])
+    Instr::new(
+        Opcode::Cwde,
+        vec![Opnd::reg(Reg::Ax)],
+        vec![Opnd::reg(Reg::Eax)],
+    )
 }
 
 /// `push src` (register, immediate, memory, or code address).
@@ -239,7 +251,11 @@ pub fn setcc(cc: Cc, rm8: Opnd) -> Instr {
 
 /// `cmov<cc> dst32, src` — conditional move.
 pub fn cmov(cc: Cc, dst: Reg, src: Opnd) -> Instr {
-    Instr::new(Opcode::Cmov(cc), vec![src, Opnd::reg(dst)], vec![Opnd::reg(dst)])
+    Instr::new(
+        Opcode::Cmov(cc),
+        vec![src, Opnd::reg(dst)],
+        vec![Opnd::reg(dst)],
+    )
 }
 
 /// `rol rm, count`.
@@ -375,7 +391,10 @@ mod tests {
     fn created_instructions_round_trip_semantically() {
         let cases = vec![
             mov(Opnd::reg(Reg::Eax), Opnd::imm32(42)),
-            lea(Reg::Esi, MemRef::base_index(Reg::Ecx, Reg::Eax, 1, 0, OpSize::S32)),
+            lea(
+                Reg::Esi,
+                MemRef::base_index(Reg::Ecx, Reg::Eax, 1, 0, OpSize::S32),
+            ),
             add(Opnd::reg(Reg::Ebx), Opnd::imm32(0x1234)),
             sub(
                 Opnd::reg(Reg::Eax),

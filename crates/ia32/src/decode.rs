@@ -266,76 +266,94 @@ fn shape_of(bytes: &[u8]) -> Result<Shape, DecodeError> {
         };
     }
     match b {
-        0x40..=0x5F => s(false, 0),             // inc/dec/push/pop r32
-        0x68 => s(false, 4),                    // push imm32
-        0x69 => s(true, 4),                     // imul r, rm, imm32
-        0x6A => s(false, 1),                    // push imm8
-        0x6B => s(true, 1),                     // imul r, rm, imm8
-        0x70..=0x7F => s(false, 1),             // jcc rel8
-        0x80 => s(true, 1),                     // grp1 rm8, imm8
-        0x81 => s(true, 4),                     // grp1 rm32, imm32
-        0x83 => s(true, 1),                     // grp1 rm32, imm8
-        0x84..=0x87 => s(true, 0), // test/xchg
-        0x88..=0x8B => s(true, 0),              // mov
+        0x40..=0x5F => s(false, 0), // inc/dec/push/pop r32
+        0x68 => s(false, 4),        // push imm32
+        0x69 => s(true, 4),         // imul r, rm, imm32
+        0x6A => s(false, 1),        // push imm8
+        0x6B => s(true, 1),         // imul r, rm, imm8
+        0x70..=0x7F => s(false, 1), // jcc rel8
+        0x80 => s(true, 1),         // grp1 rm8, imm8
+        0x81 => s(true, 4),         // grp1 rm32, imm32
+        0x83 => s(true, 1),         // grp1 rm32, imm8
+        0x84..=0x87 => s(true, 0),  // test/xchg
+        0x88..=0x8B => s(true, 0),  // mov
         0x8D => {
             // lea requires a memory operand (mod != 3).
             if get(bytes, 1)? >> 6 == 3 {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 0)
         }
         0x8F => {
             // pop rm32: /0 only.
             if (get(bytes, 1)? >> 3) & 7 != 0 {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 0)
         }
-        0x90 => s(false, 0),                    // nop
-        0x91..=0x97 => s(false, 0),             // xchg %eax, r32 (short form)
-        0x98 | 0x99 => s(false, 0),             // cwde / cdq
-        0x9C..=0x9F => s(false, 0),             // pushfd/popfd/sahf/lahf
-        0xA8 => s(false, 1),                    // test al, imm8
-        0xA9 => s(false, 4),                    // test eax, imm32
-        0xB0..=0xB7 => s(false, 1),             // mov r8, imm8
-        0xB8..=0xBF => s(false, 4),             // mov r32, imm32
+        0x90 => s(false, 0),        // nop
+        0x91..=0x97 => s(false, 0), // xchg %eax, r32 (short form)
+        0x98 | 0x99 => s(false, 0), // cwde / cdq
+        0x9C..=0x9F => s(false, 0), // pushfd/popfd/sahf/lahf
+        0xA8 => s(false, 1),        // test al, imm8
+        0xA9 => s(false, 4),        // test eax, imm32
+        0xB0..=0xB7 => s(false, 1), // mov r8, imm8
+        0xB8..=0xBF => s(false, 4), // mov r32, imm32
         0xC0 | 0xC1 => {
             // grp2: rol/ror/shl/shr/sar digits.
             let digit = (get(bytes, 1)? >> 3) & 7;
             if !matches!(digit, 0 | 1 | 4 | 5 | 7) {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 1)
         }
-        0xC2 => s(false, 2),                    // ret imm16
-        0xC3 => s(false, 0),                    // ret
+        0xC2 => s(false, 2), // ret imm16
+        0xC3 => s(false, 0), // ret
         0xC6 | 0xC7 => {
             // mov rm, imm: /0 only.
             if (get(bytes, 1)? >> 3) & 7 != 0 {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, if b == 0xC6 { 1 } else { 4 })
         }
-        0xCC => s(false, 0),                    // int3
-        0xCD => s(false, 1),                    // int imm8
+        0xCC => s(false, 0), // int3
+        0xCD => s(false, 1), // int imm8
         0xD0..=0xD3 => {
             let digit = (get(bytes, 1)? >> 3) & 7;
             if !matches!(digit, 0 | 1 | 4 | 5 | 7) {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 0)
         }
-        0xE3 => s(false, 1),                    // jecxz rel8
-        0xE8 | 0xE9 => s(false, 4),             // call/jmp rel32
-        0xEB => s(false, 1),                    // jmp rel8
-        0xF4 => s(false, 0),                    // hlt
+        0xE3 => s(false, 1),        // jecxz rel8
+        0xE8 | 0xE9 => s(false, 4), // call/jmp rel32
+        0xEB => s(false, 1),        // jmp rel8
+        0xF4 => s(false, 0),        // hlt
         0xF6 | 0xF7 => {
             // grp3: immediate present only for the test form (/0); /1 is
             // invalid.
             let m = get(bytes, 1)?;
             let digit = (m >> 3) & 7;
             if digit == 1 {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             let imm = if digit == 0 {
                 if b == 0xF6 {
@@ -350,13 +368,19 @@ fn shape_of(bytes: &[u8]) -> Result<Shape, DecodeError> {
         }
         0xFE => {
             if (get(bytes, 1)? >> 3) & 7 > 1 {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 0)
         }
         0xFF => {
             if !matches!((get(bytes, 1)? >> 3) & 7, 0 | 1 | 2 | 4 | 6) {
-                return Err(DecodeError::InvalidOpcode { byte: b, two_byte: false });
+                return Err(DecodeError::InvalidOpcode {
+                    byte: b,
+                    two_byte: false,
+                });
             }
             s(true, 0)
         }
@@ -370,20 +394,23 @@ fn shape_of(bytes: &[u8]) -> Result<Shape, DecodeError> {
                 })
             };
             match b2 {
-                0x40..=0x4F => s2(true, 0),                   // cmovcc r32, rm32
-                0x80..=0x8F => s2(false, 4),                  // jcc rel32
-                0x90..=0x9F => s2(true, 0),                   // setcc rm8
-                0xA3 => s2(true, 0),                          // bt rm32, r32
-                0xAF => s2(true, 0),                          // imul r32, rm32
-                0xB6 | 0xB7 | 0xBE | 0xBF => s2(true, 0),     // movzx/movsx
+                0x40..=0x4F => s2(true, 0),               // cmovcc r32, rm32
+                0x80..=0x8F => s2(false, 4),              // jcc rel32
+                0x90..=0x9F => s2(true, 0),               // setcc rm8
+                0xA3 => s2(true, 0),                      // bt rm32, r32
+                0xAF => s2(true, 0),                      // imul r32, rm32
+                0xB6 | 0xB7 | 0xBE | 0xBF => s2(true, 0), // movzx/movsx
                 0xBA => {
                     // grp8: only bt (/4) is supported.
                     if (get(bytes, 2)? >> 3) & 7 != 4 {
-                        return Err(DecodeError::InvalidOpcode { byte: b2, two_byte: true });
+                        return Err(DecodeError::InvalidOpcode {
+                            byte: b2,
+                            two_byte: true,
+                        });
                     }
                     s2(true, 1)
                 }
-                0xC8..=0xCF => s2(false, 0),                  // bswap r32
+                0xC8..=0xCF => s2(false, 0), // bswap r32
                 _ => Err(DecodeError::InvalidOpcode {
                     byte: b2,
                     two_byte: true,
@@ -603,7 +630,10 @@ pub(crate) fn decode_full_into(
                 let m = parse_modrm(&bytes[1..], OpSize::S32)?;
                 (Opnd::Reg(Reg::from_number(m.reg, OpSize::S32)), m.opnd)
             }
-            4 => (Opnd::reg(Reg::Al), Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8)),
+            4 => (
+                Opnd::reg(Reg::Al),
+                Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8),
+            ),
             _ => (
                 Opnd::reg(Reg::Eax),
                 Opnd::Imm(read_i32(bytes, 1)?, OpSize::S32),
@@ -649,7 +679,10 @@ pub(crate) fn decode_full_into(
         ),
         0x6A => (
             Opcode::Push,
-            vec![Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8), Opnd::reg(Reg::Esp)],
+            vec![
+                Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8),
+                Opnd::reg(Reg::Esp),
+            ],
             vec![Opnd::reg(Reg::Esp), stack_mem(-4)],
         ),
         0x69 | 0x6B => {
@@ -665,7 +698,11 @@ pub(crate) fn decode_full_into(
         }
         0x70..=0x7F => {
             let target = next_pc.wrapping_add(read_i8(bytes, 1)? as u32);
-            (Opcode::Jcc(Cc::from_code(b & 0xF)), vec![Opnd::Pc(target)], vec![])
+            (
+                Opcode::Jcc(Cc::from_code(b & 0xF)),
+                vec![Opnd::Pc(target)],
+                vec![],
+            )
         }
         0x80 | 0x81 | 0x83 => {
             let size = if b == 0x80 { OpSize::S8 } else { OpSize::S32 };
@@ -732,8 +769,16 @@ pub(crate) fn decode_full_into(
             let a = Opnd::reg(Reg::Eax);
             (Opcode::Xchg, vec![a, r], vec![a, r])
         }
-        0x98 => (Opcode::Cwde, vec![Opnd::reg(Reg::Ax)], vec![Opnd::reg(Reg::Eax)]),
-        0x99 => (Opcode::Cdq, vec![Opnd::reg(Reg::Eax)], vec![Opnd::reg(Reg::Edx)]),
+        0x98 => (
+            Opcode::Cwde,
+            vec![Opnd::reg(Reg::Ax)],
+            vec![Opnd::reg(Reg::Eax)],
+        ),
+        0x99 => (
+            Opcode::Cdq,
+            vec![Opnd::reg(Reg::Eax)],
+            vec![Opnd::reg(Reg::Edx)],
+        ),
         0x9C => (
             Opcode::Pushfd,
             vec![Opnd::reg(Reg::Esp)],
@@ -748,7 +793,10 @@ pub(crate) fn decode_full_into(
         0x9F => (Opcode::Lahf, vec![], vec![Opnd::reg(Reg::Ah)]),
         0xA8 => (
             Opcode::Test,
-            vec![Opnd::reg(Reg::Al), Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8)],
+            vec![
+                Opnd::reg(Reg::Al),
+                Opnd::Imm(read_i8(bytes, 1)?, OpSize::S8),
+            ],
             vec![],
         ),
         0xA9 => (
@@ -929,7 +977,11 @@ pub(crate) fn decode_full_into(
                     let m = parse_modrm(&bytes[2..], OpSize::S32)?;
                     let r = Opnd::Reg(Reg::from_number(m.reg, OpSize::S32));
                     // cmov conditionally writes r; r is also a source.
-                    (Opcode::Cmov(Cc::from_code(b2 & 0xF)), vec![m.opnd, r], vec![r])
+                    (
+                        Opcode::Cmov(Cc::from_code(b2 & 0xF)),
+                        vec![m.opnd, r],
+                        vec![r],
+                    )
                 }
                 0xA3 => {
                     let m = parse_modrm(&bytes[2..], OpSize::S32)?;
@@ -939,7 +991,10 @@ pub(crate) fn decode_full_into(
                 0xBA => {
                     let m = parse_modrm(&bytes[2..], OpSize::S32)?;
                     if m.reg != 4 {
-                        return Err(DecodeError::InvalidOpcode { byte: b2, two_byte: true });
+                        return Err(DecodeError::InvalidOpcode {
+                            byte: b2,
+                            two_byte: true,
+                        });
                     }
                     let imm = Opnd::Imm(read_i8(bytes, 2 + m.len as usize)?, OpSize::S8);
                     (Opcode::Bt, vec![m.opnd, imm], vec![])
@@ -1186,7 +1241,10 @@ mod tests {
 
     #[test]
     fn truncated_input_rejected() {
-        assert_eq!(decode_sizeof(&[0x81, 0xc0, 1, 2]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_sizeof(&[0x81, 0xc0, 1, 2]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(decode_sizeof(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode_sizeof(&[0x0f]), Err(DecodeError::Truncated));
     }

@@ -130,7 +130,10 @@ mod tests {
             ]
         );
         let flags: Vec<&str> = lines.iter().map(|l| l.eflags.as_str()).collect();
-        assert_eq!(flags, vec!["-", "-", "WCPAZSO", "-", "WCPAZSO", "WCPAZSO", "RSO"]);
+        assert_eq!(
+            flags,
+            vec!["-", "-", "WCPAZSO", "-", "WCPAZSO", "WCPAZSO", "RSO"]
+        );
     }
 
     #[test]

@@ -225,7 +225,11 @@ fn can_copy_raw(instr: &Instr) -> bool {
 /// assert_eq!(bytes, vec![0x83, 0xc0, 0x01]); // short imm8 form
 /// # Ok::<(), rio_ia32::EncodeError>(())
 /// ```
-pub fn encode_instr(instr: &Instr, at_pc: u32, resolve: Resolver<'_>) -> Result<Vec<u8>, EncodeError> {
+pub fn encode_instr(
+    instr: &Instr,
+    at_pc: u32,
+    resolve: Resolver<'_>,
+) -> Result<Vec<u8>, EncodeError> {
     if instr.is_label() {
         return Ok(Vec::new());
     }
@@ -256,9 +260,15 @@ fn encode_from_operands(
         let base = idx * 8;
         // Intel operand positions: `op first, second`.
         let (first, second) = if op == Opcode::Cmp {
-            (srcs.first().ok_or_else(no_template)?, srcs.get(1).ok_or_else(no_template)?)
+            (
+                srcs.first().ok_or_else(no_template)?,
+                srcs.get(1).ok_or_else(no_template)?,
+            )
         } else {
-            (dsts.first().ok_or_else(no_template)?, srcs.first().ok_or_else(no_template)?)
+            (
+                dsts.first().ok_or_else(no_template)?,
+                srcs.first().ok_or_else(no_template)?,
+            )
         };
         let size = first.size().max(second.size());
         match second {
@@ -293,7 +303,11 @@ fn encode_from_operands(
             Opnd::Mem(_) => {
                 // op r, r/m form: first must be a register.
                 let r = first.as_reg().ok_or_else(no_template)?;
-                let opc = if size == OpSize::S8 { base + 2 } else { base + 3 };
+                let opc = if size == OpSize::S8 {
+                    base + 2
+                } else {
+                    base + 3
+                };
                 out.push(opc);
                 emit_modrm(out, r.number(), second)?;
             }
@@ -540,7 +554,10 @@ fn encode_from_operands(
         Opcode::Int3 => out.push(0xCC),
         Opcode::Hlt => out.push(0xF4),
         Opcode::Int => {
-            let v = srcs.first().and_then(Opnd::as_imm).ok_or_else(no_template)?;
+            let v = srcs
+                .first()
+                .and_then(Opnd::as_imm)
+                .ok_or_else(no_template)?;
             out.push(0xCD);
             out.push(v as u8);
         }
@@ -792,7 +809,7 @@ mod tests {
         let top = il.push_back(Instr::label());
         il.push_back(create::nop());
         let mut fwd = create::jmp(Target::Pc(0));
-        
+
         il.push_back(create::nop());
         let bottom = il.push_back(Instr::label());
         let mut back = create::jmp(Target::Pc(0));

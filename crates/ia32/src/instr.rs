@@ -441,7 +441,11 @@ mod tests {
     #[test]
     fn mutation_invalidates_raw_and_raises_level() {
         let mut i = Instr::raw(vec![0x40], 0x1000); // inc %eax
-        i.install_l3(Opcode::Inc, vec![Opnd::reg(Reg::Eax)], vec![Opnd::reg(Reg::Eax)]);
+        i.install_l3(
+            Opcode::Inc,
+            vec![Opnd::reg(Reg::Eax)],
+            vec![Opnd::reg(Reg::Eax)],
+        );
         assert_eq!(i.level(), Level::L3);
         assert!(i.raw_valid());
         i.set_dst(0, Opnd::reg(Reg::Ebx));

@@ -51,6 +51,6 @@ pub use image::Image;
 pub use machine::{ExecRegion, Machine};
 pub use mem::Memory;
 pub use os::{run_native, Os, RunResult, SYSCALL_VECTOR};
-pub use perf::{Counters, CostModel, CpuKind};
+pub use perf::{CostModel, Counters, CpuKind};
 
 pub use rio_ia32 as ia32;

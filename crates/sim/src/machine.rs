@@ -7,14 +7,14 @@
 //! fast; the RIO core invalidates it whenever it patches code (linking,
 //! fragment replacement), modelling self-modifying code correctly.
 
-use rio_ia32::{decode_instr, Instr, MemRef, Opcode, OpSize, Opnd, Reg};
+use rio_ia32::{decode_instr, Instr, MemRef, OpSize, Opcode, Opnd, Reg};
 
 use crate::cpu::{
     alu_add, alu_logic, alu_sar, alu_shl, alu_shr, alu_sub, CpuError, CpuExit, CpuState,
 };
 use crate::image::Image;
 use crate::mem::Memory;
-use crate::perf::{Counters, CostModel, CpuKind};
+use crate::perf::{CostModel, Counters, CpuKind};
 
 /// A half-open `[start, end)` address range the CPU may execute from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -576,8 +576,7 @@ impl Machine {
                     if cf != 0 {
                         f |= Eflags::CF.0;
                     }
-                    self.cpu
-                        .set_flags(Eflags(Eflags::CF.0 | Eflags::OF.0), f);
+                    self.cpu.set_flags(Eflags(Eflags::CF.0 | Eflags::OF.0), f);
                 }
             }
             Opcode::Bt => {
@@ -683,8 +682,10 @@ impl Machine {
         self.counters.instructions += 1;
         self.counters.loads += self.step_loads;
         self.counters.stores += self.step_stores;
-        self.counters.cycles +=
-            self.cost.instr_cost(l.op, self.step_loads, self.step_stores) + branch_penalty;
+        self.counters.cycles += self
+            .cost
+            .instr_cost(l.op, self.step_loads, self.step_stores)
+            + branch_penalty;
     }
 }
 
@@ -822,10 +823,7 @@ mod tests {
         il.push_back(create::idiv(Opnd::reg(Reg::Ebx)));
         il.push_back(create::hlt());
         let (_, exit) = run_program(&il);
-        assert!(matches!(
-            exit,
-            CpuExit::Error(CpuError::DivideError { .. })
-        ));
+        assert!(matches!(exit, CpuExit::Error(CpuError::DivideError { .. })));
     }
 
     #[test]
@@ -927,7 +925,10 @@ mod extended_isa_exec_tests {
     #[test]
     fn rotates() {
         let mut il = InstrList::new();
-        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0x8000_0001u32 as i32)));
+        il.push_back(create::mov(
+            Opnd::reg(Reg::Eax),
+            Opnd::imm32(0x8000_0001u32 as i32),
+        ));
         il.push_back(create::rol(Opnd::reg(Reg::Eax), Opnd::imm8(1)));
         il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0x1)));
         il.push_back(create::ror(Opnd::reg(Reg::Ebx), Opnd::imm8(4)));

@@ -80,7 +80,10 @@ impl Os {
     /// [`Os::handle_syscall_threaded`]; through this single-threaded entry
     /// point they are no-ops (`spawn` returns thread id 0 = failure).
     pub fn handle_syscall(&mut self, m: &mut Machine) -> bool {
-        !matches!(self.handle_syscall_threaded(m, 0), SyscallAction::ExitProgram)
+        !matches!(
+            self.handle_syscall_threaded(m, 0),
+            SyscallAction::ExitProgram
+        )
     }
 
     /// Handle the system call with thread semantics. `next_tid` is the id a
@@ -195,10 +198,7 @@ pub fn run_native(image: &Image, kind: crate::perf::CpuKind) -> RunResult {
                     SyscallAction::Spawn { entry } => {
                         let mut cpu = CpuState::new();
                         cpu.eip = entry;
-                        cpu.set_reg(
-                            R::Esp,
-                            Image::STACK_TOP - next_tid * THREAD_STACK_SIZE - 16,
-                        );
+                        cpu.set_reg(R::Esp, Image::STACK_TOP - next_tid * THREAD_STACK_SIZE - 16);
                         parked.push_back(cpu);
                         next_tid += 1;
                     }
@@ -345,7 +345,8 @@ mod thread_tests {
         il.push_back(create::hlt());
         let enc = encode_list(&il, Image::CODE_BASE).unwrap();
         let worker_addr = Image::CODE_BASE + enc.offset_of(worker).unwrap();
-        il.get_mut(patch).set_src(0, Opnd::imm32(worker_addr as i32));
+        il.get_mut(patch)
+            .set_src(0, Opnd::imm32(worker_addr as i32));
         let _ = Target::Pc(0);
         Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
     }

@@ -297,7 +297,10 @@ mod tests {
         let p4 = CostModel::new(CpuKind::Pentium4);
         let p3 = CostModel::new(CpuKind::Pentium3);
         assert!(p4.instr_cost(Opcode::Inc, 0, 0) > p4.instr_cost(Opcode::Add, 0, 0));
-        assert_eq!(p3.instr_cost(Opcode::Inc, 0, 0), p3.instr_cost(Opcode::Add, 0, 0));
+        assert_eq!(
+            p3.instr_cost(Opcode::Inc, 0, 0),
+            p3.instr_cost(Opcode::Add, 0, 0)
+        );
     }
 
     #[test]

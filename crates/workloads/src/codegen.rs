@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use rio_ia32::encode::encode_list;
-use rio_ia32::{create, Cc, InstrId, InstrList, MemRef, Opnd, OpSize, Reg, Target};
+use rio_ia32::{create, Cc, InstrId, InstrList, MemRef, OpSize, Opnd, Reg, Target};
 use rio_sim::Image;
 
 use crate::ast::{BinOp, Expr, Function, Program, Stmt};
@@ -113,10 +113,8 @@ impl Codegen {
 
         // Entry stub: call main; exit(eax).
         let entry_call = self.il.push_back(create::call(Target::Pc(0)));
-        self.il
-            .push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
-        self.il
-            .push_back(create::mov(eax(), Opnd::imm32(1)));
+        self.il.push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
+        self.il.push_back(create::mov(eax(), Opnd::imm32(1)));
         self.il.push_back(create::int(0x80));
         self.il.push_back(create::hlt()); // unreachable backstop
 
@@ -127,7 +125,9 @@ impl Codegen {
         }
 
         let main_label = self.fn_labels["main"];
-        self.il.get_mut(entry_call).set_target(Target::Instr(main_label));
+        self.il
+            .get_mut(entry_call)
+            .set_target(Target::Instr(main_label));
         self.resolve_calls()?;
 
         // Encode, then patch absolute addresses (function pointers, jump
@@ -135,9 +135,11 @@ impl Codegen {
         // offsets are stable and a single re-encode suffices.
         let first = encode_list(&self.il, Image::CODE_BASE)?;
         for (id, name) in &self.fnaddr_patches {
-            let label = self.fn_labels.get(name).copied().ok_or_else(|| {
-                CompileError::UnknownFunction(name.clone())
-            })?;
+            let label = self
+                .fn_labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| CompileError::UnknownFunction(name.clone()))?;
             let addr = Image::CODE_BASE + first.offset_of(label).expect("label encoded");
             self.il.get_mut(*id).set_src(0, Opnd::imm32(addr as i32));
         }
@@ -248,8 +250,7 @@ impl Codegen {
                 self.eval(ctx, e)?;
                 self.il.push_back(create::push(eax()));
                 self.eval(ctx, idx)?;
-                self.il
-                    .push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
+                self.il.push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
                 self.il.push_back(create::pop(ecx()));
                 self.il.push_back(create::mov(
                     Opnd::Mem(MemRef::index_disp(Reg::Ebx, 4, base as i32, OpSize::S32)),
@@ -374,20 +375,20 @@ impl Codegen {
             // Jump table: translate into a real indirect jump — the
             // workloads' main source of `jmp *`.
             if min != 0 {
-                self.il
-                    .push_back(create::sub(eax(), Opnd::imm32(min)));
+                self.il.push_back(create::sub(eax(), Opnd::imm32(min)));
             }
             self.il
                 .push_back(create::cmp(eax(), Opnd::imm32(span as i32)));
             let to_default = self.il.push_back(create::jcc(Cc::Nb, Target::Pc(0)));
             let table_addr = self.table_next;
             self.table_next += span * 4;
-            self.il.push_back(create::jmp_ind(Opnd::Mem(MemRef::index_disp(
-                Reg::Eax,
-                4,
-                table_addr as i32,
-                OpSize::S32,
-            ))));
+            self.il
+                .push_back(create::jmp_ind(Opnd::Mem(MemRef::index_disp(
+                    Reg::Eax,
+                    4,
+                    table_addr as i32,
+                    OpSize::S32,
+                ))));
 
             let mut jumps = Vec::new();
             for (k, body) in cases {
@@ -397,7 +398,9 @@ impl Codegen {
                 jumps.push(self.il.push_back(create::jmp(Target::Pc(0))));
             }
             default_label = self.il.push_back(create::label());
-            self.il.get_mut(to_default).set_target(Target::Instr(default_label));
+            self.il
+                .get_mut(to_default)
+                .set_target(Target::Instr(default_label));
             self.stmts(ctx, default)?;
             end_jumps = jumps;
 
@@ -428,7 +431,9 @@ impl Codegen {
                 jumps.push(self.il.push_back(create::jmp(Target::Pc(0))));
             }
             default_label = self.il.push_back(create::label());
-            self.il.get_mut(to_default).set_target(Target::Instr(default_label));
+            self.il
+                .get_mut(to_default)
+                .set_target(Target::Instr(default_label));
             self.stmts(ctx, default)?;
             end_jumps = jumps;
         }
@@ -455,8 +460,7 @@ impl Codegen {
                 // visible to redundant-load removal).
                 let base = self.array_base(ctx, name)?;
                 self.eval(ctx, idx)?;
-                self.il
-                    .push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
+                self.il.push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
                 self.il.push_back(create::mov(
                     eax(),
                     Opnd::Mem(MemRef::index_disp(Reg::Ebx, 4, base as i32, OpSize::S32)),
@@ -506,7 +510,8 @@ impl Codegen {
                 self.eval(ctx, e)?;
                 self.il.push_back(create::test(eax(), eax()));
                 self.il.push_back(create::setcc(Cc::Z, Opnd::reg(Reg::Al)));
-                self.il.push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
+                self.il
+                    .push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
             }
             Expr::Call(name, args) => {
                 // Thread intrinsics (unless shadowed by a user definition):
@@ -591,7 +596,8 @@ impl Codegen {
                 self.il.get_mut(short).set_target(Target::Instr(out));
                 // Normalize whichever flags we arrived with into 0/1.
                 self.il.push_back(create::setcc(Cc::Nz, Opnd::reg(Reg::Al)));
-                self.il.push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
+                self.il
+                    .push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
             }
             Expr::OrOr(l, r) => {
                 self.eval(ctx, l)?;
@@ -602,7 +608,8 @@ impl Codegen {
                 let out = self.il.push_back(create::label());
                 self.il.get_mut(short).set_target(Target::Instr(out));
                 self.il.push_back(create::setcc(Cc::Nz, Opnd::reg(Reg::Al)));
-                self.il.push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
+                self.il
+                    .push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
             }
         }
         Ok(())
@@ -690,7 +697,8 @@ impl Codegen {
                 };
                 self.il.push_back(create::cmp(eax(), ecx()));
                 self.il.push_back(create::setcc(cc, Opnd::reg(Reg::Al)));
-                self.il.push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
+                self.il
+                    .push_back(create::movzx(Reg::Eax, Opnd::reg(Reg::Al)));
             }
         }
     }

@@ -42,7 +42,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -113,14 +117,18 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, LexError> {
             }
             _ => {
                 chars.next();
-                let two = |second: char, sym2: &'static str, sym1: &'static str, chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
-                    if chars.peek() == Some(&second) {
-                        chars.next();
-                        sym2
-                    } else {
-                        sym1
-                    }
-                };
+                let two =
+                    |second: char,
+                     sym2: &'static str,
+                     sym1: &'static str,
+                     chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+                        if chars.peek() == Some(&second) {
+                            chars.next();
+                            sym2
+                        } else {
+                            sym1
+                        }
+                    };
                 let sym: &'static str = match c {
                     '+' => two('+', "++", "+", &mut chars),
                     '-' => two('-', "--", "-", &mut chars),

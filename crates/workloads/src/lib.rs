@@ -35,4 +35,4 @@ pub mod parser;
 pub mod suite;
 
 pub use compiler::{compile, CompileError};
-pub use suite::{benchmark, suite, suite_scaled, Benchmark, Category};
+pub use suite::{benchmark, compiled, compiled_suite, suite, suite_scaled, Benchmark, Category};

@@ -19,6 +19,13 @@
 //! Every benchmark prints a checksum, so native-vs-RIO equivalence is fully
 //! checkable.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rio_sim::Image;
+
+use crate::compile;
+
 /// Workload category (SPEC's integer vs floating-point split).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Category {
@@ -693,20 +700,36 @@ pub fn suite() -> Vec<Benchmark> {
 pub fn suite_scaled(scale: i32) -> Vec<Benchmark> {
     vec![
         // SPECint-like.
-        int("gzip", "byte-stream shifts/masks, table lookups", gzip(4000 * scale)),
-        int("vpr", "loop-heavy placement moves, high reuse", vpr(4000 * scale)),
+        int(
+            "gzip",
+            "byte-stream shifts/masks, table lookups",
+            gzip(4000 * scale),
+        ),
+        int(
+            "vpr",
+            "loop-heavy placement moves, high reuse",
+            vpr(4000 * scale),
+        ),
         int(
             "gcc",
             "48 distinct functions, little reuse (overhead-hostile)",
             gcc(40 * scale),
         ),
-        int("mcf", "pointer chasing, data-dependent branches", mcf(500 * scale)),
+        int(
+            "mcf",
+            "pointer chasing, data-dependent branches",
+            mcf(500 * scale),
+        ),
         int(
             "crafty",
             "switch dispatch + helper calls + branchy evaluation",
             crafty(2000 * scale),
         ),
-        int("parser", "recursive descent over token stream", parser(1200 * scale)),
+        int(
+            "parser",
+            "recursive descent over token stream",
+            parser(1200 * scale),
+        ),
         int(
             "eon",
             "virtual dispatch via function-pointer table",
@@ -717,24 +740,95 @@ pub fn suite_scaled(scale: i32) -> Vec<Benchmark> {
             "bytecode interpreter, fresh script per run (overhead-hostile)",
             perlbmk(8 * scale),
         ),
-        int("gap", "modular exponentiation with helper calls", gap(800 * scale)),
-        int("vortex", "deep call chains per transaction", vortex(2500 * scale)),
+        int(
+            "gap",
+            "modular exponentiation with helper calls",
+            gap(800 * scale),
+        ),
+        int(
+            "vortex",
+            "deep call chains per transaction",
+            vortex(2500 * scale),
+        ),
         int("bzip2", "bit-twiddling block passes", bzip2(60 * scale)),
-        int("twolf", "annealing moves: loops + branches + calls", twolf(3000 * scale)),
+        int(
+            "twolf",
+            "annealing moves: loops + branches + calls",
+            twolf(3000 * scale),
+        ),
         // SPECfp-like.
-        fp("wupwise", "dense inner products (applu variant)", applu(45 * scale)),
-        fp("swim", "two-array relaxation, coefficient reloads", swim(60 * scale)),
-        fp("mgrid", "stencil smoothing, dense redundant loads", mgrid(70 * scale)),
-        fp("applu", "nested multiply-heavy loop nest", applu(40 * scale)),
+        fp(
+            "wupwise",
+            "dense inner products (applu variant)",
+            applu(45 * scale),
+        ),
+        fp(
+            "swim",
+            "two-array relaxation, coefficient reloads",
+            swim(60 * scale),
+        ),
+        fp(
+            "mgrid",
+            "stencil smoothing, dense redundant loads",
+            mgrid(70 * scale),
+        ),
+        fp(
+            "applu",
+            "nested multiply-heavy loop nest",
+            applu(40 * scale),
+        ),
         fp("art", "dot-product scans with running max", art(80 * scale)),
-        fp("equake", "indexed sparse gathers/scatters", equake(100 * scale)),
-        fp("ammp", "dynamics steps with counter increments", ammp(90 * scale)),
+        fp(
+            "equake",
+            "indexed sparse gathers/scatters",
+            equake(100 * scale),
+        ),
+        fp(
+            "ammp",
+            "dynamics steps with counter increments",
+            ammp(90 * scale),
+        ),
     ]
 }
 
 /// Look up one benchmark by name at the default scale.
 pub fn benchmark(name: &str) -> Option<Benchmark> {
     suite().into_iter().find(|b| b.name == name)
+}
+
+/// Compile `b`, returning a shared image. Each distinct source is compiled
+/// exactly once per process and the resulting [`Image`] shared via `Arc`
+/// across every caller and worker thread — a suite run under N engine
+/// configurations pays for one compile, not N.
+///
+/// # Panics
+///
+/// Panics if the benchmark source fails to compile (suite sources are
+/// generated and must always compile).
+pub fn compiled(b: &Benchmark) -> Arc<Image> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Image>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(img) = cache.lock().unwrap().get(&b.source) {
+        return Arc::clone(img);
+    }
+    // Compile outside the lock so a slow compile never serializes the
+    // worker pool; a concurrent duplicate loses the insert race and is
+    // dropped (results are identical either way).
+    let img = Arc::new(
+        compile(&b.source).unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name)),
+    );
+    Arc::clone(cache.lock().unwrap().entry(b.source.clone()).or_insert(img))
+}
+
+/// The full suite at default scale, paired with shared compiled images.
+pub fn compiled_suite() -> Vec<(Benchmark, Arc<Image>)> {
+    suite()
+        .into_iter()
+        .map(|b| {
+            let img = compiled(&b);
+            (b, img)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -769,5 +863,22 @@ mod tests {
     fn lookup_by_name() {
         assert!(benchmark("mgrid").is_some());
         assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn compiled_images_are_shared() {
+        let b = benchmark("mgrid").unwrap();
+        let a = compiled(&b);
+        let c = compiled(&b);
+        assert!(Arc::ptr_eq(&a, &c), "same source must share one image");
+        // Different scale -> different source -> different image.
+        let small = suite_scaled(1)
+            .into_iter()
+            .find(|x| x.name == "mgrid")
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &compiled(&small)));
+        // Shareable across worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arc<Image>>();
     }
 }

@@ -43,7 +43,10 @@ fn variables_and_assignment() {
         run("fn main() { var x = 3; var y = 4; x = x * y; return x + y; }").0,
         16
     );
-    assert_eq!(run("fn main() { var x = 10; x++; x++; x--; return x; }").0, 11);
+    assert_eq!(
+        run("fn main() { var x = 10; x++; x++; x--; return x; }").0,
+        11
+    );
 }
 
 #[test]
@@ -86,14 +89,18 @@ fn functions_and_recursion() {
         42
     );
     assert_eq!(
-        run("fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
-             fn main() { return fib(15); }")
+        run(
+            "fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             fn main() { return fib(15); }"
+        )
         .0,
         610
     );
     assert_eq!(
-        run("fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
-             fn main() { return fact(10); }")
+        run(
+            "fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+             fn main() { return fact(10); }"
+        )
         .0,
         3628800
     );
@@ -205,7 +212,10 @@ fn signed_wrapping_arithmetic() {
         run("fn main() { return 2147483647 + 1 == (0 - 2147483647) - 1; }").0,
         1
     );
-    assert_eq!(run("fn main() { var x = 65535; return x * x; }").0, (65535i64 * 65535) as i32);
+    assert_eq!(
+        run("fn main() { var x = 65535; return x * x; }").0,
+        (65535i64 * 65535) as i32
+    );
 }
 
 #[test]
@@ -220,13 +230,20 @@ fn compile_errors_are_reported() {
     ));
     assert!(matches!(
         compile("fn f(a, b) { return a; } fn main() { return f(1); }"),
-        Err(CompileError::Arity { expected: 2, got: 1, .. })
+        Err(CompileError::Arity {
+            expected: 2,
+            got: 1,
+            ..
+        })
     ));
     assert!(matches!(
         compile("fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }"),
         Err(CompileError::Duplicate(_))
     ));
-    assert!(matches!(compile("fn f() { return 0; }"), Err(CompileError::NoMain)));
+    assert!(matches!(
+        compile("fn f() { return 0; }"),
+        Err(CompileError::NoMain)
+    ));
     assert!(matches!(
         compile("fn main() { return 1 + ; }"),
         Err(CompileError::Parse(_))
@@ -275,10 +292,12 @@ fn compiled_programs_run_identically_under_rio() {
 #[test]
 fn short_circuit_logic() {
     // Values and truth table.
-    assert_eq!(run("fn main() { return (1 && 2) + (0 && 1) * 10 + (1 || 0) * 100 + (0 || 0) * 1000; }").0, 101);
+    assert_eq!(
+        run("fn main() { return (1 && 2) + (0 && 1) * 10 + (1 || 0) * 100 + (0 || 0) * 1000; }").0,
+        101
+    );
     // Short-circuit: the right side must not run when skipped.
-    let (code, out) = run(
-        "global hits = 0;
+    let (code, out) = run("global hits = 0;
          fn effect() { hits++; return 1; }
          fn main() {
              var a = 0 && effect();   // effect not called
@@ -287,8 +306,7 @@ fn short_circuit_logic() {
              var d = 0 || effect();   // called
              print(hits);
              return a + b * 10 + c * 100 + d * 1000;
-         }",
-    );
+         }");
     assert_eq!(out, "2\n");
     assert_eq!(code, 1110);
 }
@@ -312,7 +330,8 @@ fn break_and_continue() {
                 i++;
             }
             return s;
-        }").0,
+        }")
+        .0,
         45
     );
     // continue skips the rest of the body (and still advances via the
@@ -326,7 +345,8 @@ fn break_and_continue() {
                 s = s + i;
             }
             return s;
-        }").0,
+        }")
+        .0,
         2 + 4 + 6 + 8 + 10
     );
     // Nested: break/continue bind to the inner loop.
@@ -344,7 +364,8 @@ fn break_and_continue() {
                 i++;
             }
             return hits;
-        }").0,
+        }")
+        .0,
         5 * 4 // j = 1,2,4,5 per outer iteration
     );
 }
@@ -357,6 +378,9 @@ fn stray_break_is_a_compile_error() {
     ));
     assert!(matches!(
         compile("fn main() { continue; return 0; }"),
-        Err(CompileError::StrayLoopControl { what: "continue", .. })
+        Err(CompileError::StrayLoopControl {
+            what: "continue",
+            ..
+        })
     ));
 }

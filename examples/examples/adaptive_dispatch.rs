@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.stats.ib_lookups
     );
 
-    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, IbDispatch::new());
+    let mut rio = Rio::new(
+        &image,
+        Options::full(),
+        CpuKind::Pentium4,
+        IbDispatch::new(),
+    );
     let r = rio.run();
     assert_eq!(r.exit_code, native.exit_code);
     println!(

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         InsCount::new(),
     );
     let r = rio.run();
-    println!("inscount: {} (simulator says {})", rio.client.executed, native.counters.instructions);
+    println!(
+        "inscount: {} (simulator says {})",
+        rio.client.executed, native.counters.instructions
+    );
     assert_eq!(rio.client.executed, native.counters.instructions);
 
     // Hottest blocks via clean calls.

@@ -31,12 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let native = run_native(&image, CpuKind::Pentium4);
-    println!("native:   exit={} output={:?}", native.exit_code, native.output.trim());
+    println!(
+        "native:   exit={} output={:?}",
+        native.exit_code,
+        native.output.trim()
+    );
     println!("          {}", native.counters);
 
     let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
     let r = rio.run();
-    println!("under RIO: exit={} output={:?}", r.exit_code, r.app_output.trim());
+    println!(
+        "under RIO: exit={} output={:?}",
+        r.exit_code,
+        r.app_output.trim()
+    );
     println!("          {}", r.counters);
     println!("engine:   {}", r.stats);
 

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(r.app_output, native.output);
 
     println!("program output: {}", r.app_output.trim());
-    println!("threads: {} (ids returned: exit code {})", rio.core.thread_count(), r.exit_code);
+    println!(
+        "threads: {} (ids returned: exit code {})",
+        rio.core.thread_count(),
+        r.exit_code
+    );
     for t in 0..rio.core.thread_count() {
         let cache = rio.core.thread_cache(t);
         let (start, end) = cache.region();

@@ -4,7 +4,7 @@
 
 use rio_core::{NullClient, Options, Rio};
 use rio_ia32::encode::encode_list;
-use rio_ia32::{create, Cc, InstrList, MemRef, Opnd, OpSize, Reg, Target};
+use rio_ia32::{create, Cc, InstrList, MemRef, OpSize, Opnd, Reg, Target};
 use rio_sim::{run_native, CpuKind, Image};
 
 fn image(build: impl FnOnce(&mut InstrList)) -> Image {
@@ -88,7 +88,11 @@ fn carry_chains_and_eight_bit_arithmetic_survive_translation() {
         il.push_back(create::add(Opnd::reg(Reg::Cl), Opnd::imm8(100))); // 8-bit wrap
         il.push_back(create::movzx(Reg::Esi, Opnd::reg(Reg::Cl)));
         // ebx = edx*1000 + cl
-        il.push_back(create::imul3(Reg::Ebx, Opnd::reg(Reg::Edx), Opnd::imm32(1000)));
+        il.push_back(create::imul3(
+            Reg::Ebx,
+            Opnd::reg(Reg::Edx),
+            Opnd::imm32(1000),
+        ));
         il.push_back(create::add(Opnd::reg(Reg::Ebx), Opnd::reg(Reg::Esi)));
         exit_with(il, Reg::Ebx);
     });

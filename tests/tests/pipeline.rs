@@ -2,10 +2,10 @@
 //! ways — a Rust-side reference evaluator, the native simulator, and the
 //! full RIO engine with all optimizations — must agree exactly.
 
-use proptest::prelude::*;
 use rio_bench::{run_config, ClientKind};
 use rio_core::Options;
 use rio_sim::{run_native, CpuKind};
+use rio_tests::Rng;
 use rio_workloads::compile;
 
 /// A random arithmetic expression over variables `a`, `b`, `c` that avoids
@@ -65,38 +65,63 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::A),
-        Just(E::B),
-        Just(E::C),
-        (-1000i32..1000).prop_map(E::K),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
-            inner.clone().prop_map(|x| E::Shl(Box::new(x))),
-            (inner.clone(), inner).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
-        ]
-    })
+/// Generate a random expression with bounded depth.
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.chance(1, 4) {
+        return match rng.below(4) {
+            0 => E::A,
+            1 => E::B,
+            2 => E::C,
+            _ => E::K(rng.range_i32(-1000, 1000)),
+        };
+    }
+    let sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
+    match rng.below(7) {
+        0 => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::Add(x, y)
+        }
+        1 => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::Sub(x, y)
+        }
+        2 => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::Mul(x, y)
+        }
+        3 => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::And(x, y)
+        }
+        4 => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::Xor(x, y)
+        }
+        5 => E::Shl(sub(rng)),
+        _ => {
+            let x = sub(rng);
+            let y = sub(rng);
+            E::Lt(x, y)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Reference evaluator == native simulation == full RIO with the combined
+/// client, for a loop accumulating a random expression.
+#[test]
+fn random_programs_agree_three_ways() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x9_1000 + case);
+        let e = gen_expr(&mut rng, 4);
+        let a0 = rng.range_i32(-100, 100);
+        let b0 = rng.range_i32(-100, 100);
+        let iters = rng.range_i32(5, 60);
 
-    /// Reference evaluator == native simulation == full RIO with the
-    /// combined client, for a loop accumulating a random expression.
-    #[test]
-    fn random_programs_agree_three_ways(
-        e in arb_expr(),
-        a0 in -100i32..100,
-        b0 in -100i32..100,
-        iters in 5i32..60,
-    ) {
         // Reference result in Rust (wrapping semantics).
         let mut acc = 0i32;
         let mut c = 0i32;
@@ -126,17 +151,32 @@ proptest! {
         let image = compile(&src).expect("random program compiles");
 
         let native = run_native(&image, CpuKind::Pentium4);
-        prop_assert_eq!(native.exit_code, expected, "native vs reference");
+        assert_eq!(
+            native.exit_code, expected,
+            "case {case}: native vs reference\n{src}"
+        );
 
-        let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Combined);
-        prop_assert_eq!(r.exit_code, expected, "RIO vs reference");
-        prop_assert_eq!(r.output, native.output);
+        let r = run_config(
+            &image,
+            Options::full(),
+            CpuKind::Pentium4,
+            ClientKind::Combined,
+        );
+        assert_eq!(
+            r.exit_code, expected,
+            "case {case}: RIO vs reference\n{src}"
+        );
+        assert_eq!(r.output, native.output, "case {case}");
     }
+}
 
-    /// Final architectural register state matches between native and cached
-    /// execution (beyond just exit codes).
-    #[test]
-    fn final_machine_state_matches(seed in 0u32..2000) {
+/// Final architectural register state matches between native and cached
+/// execution (beyond just exit codes).
+#[test]
+fn final_machine_state_matches() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0xF1_2000 + case);
+        let seed = rng.range_i32(0, 2000);
         let src = format!(
             "fn mix(x) {{ return (x * 1103515 + {seed}) & 2147483647; }}
              fn main() {{
@@ -149,6 +189,6 @@ proptest! {
         let image = compile(&src).expect("compiles");
         let native = run_native(&image, CpuKind::Pentium4);
         let r = run_config(&image, Options::full(), CpuKind::Pentium4, ClientKind::Null);
-        prop_assert_eq!(r.exit_code, native.exit_code);
+        assert_eq!(r.exit_code, native.exit_code, "seed {seed}");
     }
 }

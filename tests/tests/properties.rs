@@ -1,141 +1,217 @@
-//! Property-based tests over the instruction-representation core and the
-//! full compile-and-execute pipeline.
+//! Randomized tests over the instruction-representation core and the
+//! full compile-and-execute pipeline (deterministic in-tree RNG).
 
-use proptest::prelude::*;
 use rio_ia32::encode::encode_list;
 use rio_ia32::{
-    create, decode_instr, decode_sizeof, encode_instr, Cc, InstrList, Level, MemRef, Opnd, OpSize,
-    Reg,
+    create, decode_instr, decode_sizeof, encode_instr, Cc, Instr, InstrList, Level, MemRef, OpSize,
+    Opnd, Reg,
 };
+use rio_tests::Rng;
 
-fn arb_reg32() -> impl Strategy<Value = Reg> {
-    prop::sample::select(Reg::GPR32.to_vec())
+fn gen_reg32(rng: &mut Rng) -> Reg {
+    *rng.pick(&Reg::GPR32)
 }
 
-fn arb_memref() -> impl Strategy<Value = MemRef> {
-    (
-        prop::option::of(arb_reg32()),
-        prop::option::of(arb_reg32().prop_filter("esp cannot index", |r| *r != Reg::Esp)),
-        prop::sample::select(vec![1u8, 2, 4, 8]),
-        any::<i32>(),
-    )
-        .prop_map(|(base, index, scale, disp)| MemRef {
-            base,
-            index,
-            // Scale is meaningless without an index; IA-32 cannot encode it.
-            scale: if index.is_some() { scale } else { 1 },
-            disp,
-            size: OpSize::S32,
-        })
+fn gen_memref(rng: &mut Rng) -> MemRef {
+    let base = rng.flip().then(|| gen_reg32(rng));
+    let index = if rng.flip() {
+        // %esp cannot be an index register.
+        let r = gen_reg32(rng);
+        (r != Reg::Esp).then_some(r)
+    } else {
+        None
+    };
+    let scale = *rng.pick(&[1u8, 2, 4, 8]);
+    MemRef {
+        base,
+        index,
+        // Scale is meaningless without an index; IA-32 cannot encode it.
+        scale: if index.is_some() { scale } else { 1 },
+        disp: rng.next_u32() as i32,
+        size: OpSize::S32,
+    }
 }
 
-fn arb_rm() -> impl Strategy<Value = Opnd> {
-    prop_oneof![
-        arb_reg32().prop_map(Opnd::Reg),
-        arb_memref().prop_map(Opnd::Mem),
-    ]
+fn gen_rm(rng: &mut Rng) -> Opnd {
+    if rng.flip() {
+        Opnd::Reg(gen_reg32(rng))
+    } else {
+        Opnd::Mem(gen_memref(rng))
+    }
 }
 
 /// A synthesized instruction whose encoding must round-trip.
-fn arb_instr() -> impl Strategy<Value = rio_ia32::Instr> {
-    prop_oneof![
+fn gen_instr(rng: &mut Rng) -> Instr {
+    match rng.below(28) {
         // mov r/m <- reg, reg <- r/m, r/m <- imm
-        (arb_rm(), arb_reg32()).prop_map(|(d, s)| create::mov(d, Opnd::Reg(s))),
-        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::mov(Opnd::Reg(d), s)),
-        (arb_rm(), any::<i32>()).prop_map(|(d, v)| create::mov(d, Opnd::imm32(v))),
+        0 => {
+            let d = gen_rm(rng);
+            create::mov(d, Opnd::Reg(gen_reg32(rng)))
+        }
+        1 => {
+            let d = gen_reg32(rng);
+            let s = gen_rm(rng);
+            create::mov(Opnd::Reg(d), s)
+        }
+        2 => {
+            let d = gen_rm(rng);
+            let v = rng.next_u32() as i32;
+            create::mov(d, Opnd::imm32(v))
+        }
         // group-1 arithmetic, all operand shapes
-        (arb_rm(), arb_reg32()).prop_map(|(d, s)| create::add(d, Opnd::Reg(s))),
-        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::sub(Opnd::Reg(d), s)),
-        (arb_rm(), any::<i32>()).prop_map(|(d, v)| create::and(d, Opnd::imm32(v))),
-        (arb_rm(), any::<i32>()).prop_map(|(a, v)| create::cmp(a, Opnd::imm32(v))),
-        (arb_rm(), arb_reg32()).prop_map(|(a, b)| create::test(a, Opnd::Reg(b))),
+        3 => {
+            let d = gen_rm(rng);
+            create::add(d, Opnd::Reg(gen_reg32(rng)))
+        }
+        4 => {
+            let d = gen_reg32(rng);
+            let s = gen_rm(rng);
+            create::sub(Opnd::Reg(d), s)
+        }
+        5 => {
+            let d = gen_rm(rng);
+            let v = rng.next_u32() as i32;
+            create::and(d, Opnd::imm32(v))
+        }
+        6 => {
+            let a = gen_rm(rng);
+            let v = rng.next_u32() as i32;
+            create::cmp(a, Opnd::imm32(v))
+        }
+        7 => {
+            let a = gen_rm(rng);
+            create::test(a, Opnd::Reg(gen_reg32(rng)))
+        }
         // inc/dec/neg/not
-        arb_rm().prop_map(create::inc),
-        arb_rm().prop_map(create::dec),
-        arb_rm().prop_map(create::neg),
-        arb_rm().prop_map(create::not),
+        8 => create::inc(gen_rm(rng)),
+        9 => create::dec(gen_rm(rng)),
+        10 => create::neg(gen_rm(rng)),
+        11 => create::not(gen_rm(rng)),
         // shifts
-        (arb_rm(), 0u8..32).prop_map(|(d, c)| create::shl(d, Opnd::imm8(c as i8))),
-        (arb_reg32(), 0u8..32).prop_map(|(d, c)| create::sar(Opnd::Reg(d), Opnd::imm8(c as i8))),
+        12 => {
+            let d = gen_rm(rng);
+            let c = rng.below(32) as i8;
+            create::shl(d, Opnd::imm8(c))
+        }
+        13 => {
+            let d = gen_reg32(rng);
+            let c = rng.below(32) as i8;
+            create::sar(Opnd::Reg(d), Opnd::imm8(c))
+        }
         // multiplies
-        (arb_reg32(), arb_rm()).prop_map(|(d, s)| create::imul(d, s)),
-        (arb_reg32(), arb_rm(), any::<i32>())
-            .prop_map(|(d, s, v)| create::imul3(d, s, Opnd::imm32(v))),
-        arb_rm().prop_map(create::idiv),
+        14 => {
+            let d = gen_reg32(rng);
+            let s = gen_rm(rng);
+            create::imul(d, s)
+        }
+        15 => {
+            let d = gen_reg32(rng);
+            let s = gen_rm(rng);
+            let v = rng.next_u32() as i32;
+            create::imul3(d, s, Opnd::imm32(v))
+        }
+        16 => create::idiv(gen_rm(rng)),
         // stack
-        arb_reg32().prop_map(|r| create::push(Opnd::Reg(r))),
-        arb_reg32().prop_map(|r| create::pop(Opnd::Reg(r))),
-        any::<i32>().prop_map(|v| create::push(Opnd::imm32(v))),
+        17 => create::push(Opnd::Reg(gen_reg32(rng))),
+        18 => create::pop(Opnd::Reg(gen_reg32(rng))),
+        19 => create::push(Opnd::imm32(rng.next_u32() as i32)),
         // misc
-        (0u8..16, arb_reg32()).prop_map(|(cc, _)| create::setcc(
-            Cc::from_code(cc),
-            Opnd::reg(Reg::Al)
-        )),
-        (arb_reg32(), arb_memref()).prop_map(|(d, m)| create::lea(d, m)),
-        (0u8..16, arb_reg32(), arb_rm()).prop_map(|(cc, d, s)| create::cmov(
-            Cc::from_code(cc),
-            d,
-            s
-        )),
-        (arb_rm(), 1u8..32).prop_map(|(d, c)| create::rol(d, Opnd::imm8(c as i8))),
-        (arb_rm(), 1u8..32).prop_map(|(d, c)| create::ror(d, Opnd::imm8(c as i8))),
-        (arb_rm(), arb_reg32()).prop_map(|(a, b)| create::bt(a, Opnd::Reg(b))),
-        arb_reg32().prop_map(create::bswap),
-        Just(create::nop()),
-        Just(create::cdq()),
-        Just(create::ret()),
-    ]
+        20 => create::setcc(Cc::from_code(rng.below(16) as u8), Opnd::reg(Reg::Al)),
+        21 => {
+            let d = gen_reg32(rng);
+            let m = gen_memref(rng);
+            create::lea(d, m)
+        }
+        22 => {
+            let cc = Cc::from_code(rng.below(16) as u8);
+            let d = gen_reg32(rng);
+            let s = gen_rm(rng);
+            create::cmov(cc, d, s)
+        }
+        23 => {
+            let d = gen_rm(rng);
+            let c = (rng.below(31) + 1) as i8;
+            create::rol(d, Opnd::imm8(c))
+        }
+        24 => {
+            let d = gen_rm(rng);
+            let c = (rng.below(31) + 1) as i8;
+            create::ror(d, Opnd::imm8(c))
+        }
+        25 => {
+            let a = gen_rm(rng);
+            create::bt(a, Opnd::Reg(gen_reg32(rng)))
+        }
+        26 => create::bswap(gen_reg32(rng)),
+        _ => rng
+            .pick(&[create::nop(), create::cdq(), create::ret()])
+            .clone(),
+    }
 }
 
-proptest! {
-    /// Synthesized instruction -> encode -> decode yields identical
-    /// opcode and operands.
-    #[test]
-    fn encode_decode_round_trip(instr in arb_instr()) {
+/// Synthesized instruction -> encode -> decode yields identical opcode and
+/// operands.
+#[test]
+fn encode_decode_round_trip() {
+    for case in 0..1500u64 {
+        let mut rng = Rng::new(0xE_0001 + case);
+        let instr = gen_instr(&mut rng);
         let bytes = match encode_instr(&instr, 0x1000, &|_| None) {
             Ok(b) => b,
-            // Unencodable operand combinations (e.g. %esp index through
-            // arb_memref filtering gaps) are allowed to be rejected, never
-            // to panic.
-            Err(_) => return Ok(()),
+            // Unencodable operand combinations are allowed to be rejected,
+            // never to panic.
+            Err(_) => continue,
         };
         let (decoded, len) = decode_instr(&bytes, 0x1000).expect("own encodings decode");
-        prop_assert_eq!(len as usize, bytes.len());
-        prop_assert_eq!(decoded.opcode(), instr.opcode());
-        prop_assert_eq!(decoded.srcs(), instr.srcs());
-        prop_assert_eq!(decoded.dsts(), instr.dsts());
+        assert_eq!(len as usize, bytes.len(), "case {case}: {instr:?}");
+        assert_eq!(decoded.opcode(), instr.opcode(), "case {case}");
+        assert_eq!(decoded.srcs(), instr.srcs(), "case {case}: {instr:?}");
+        assert_eq!(decoded.dsts(), instr.dsts(), "case {case}: {instr:?}");
     }
+}
 
-    /// decode_sizeof always agrees with the full decoder's length.
-    #[test]
-    fn sizeof_agrees_with_full_decode(bytes in prop::collection::vec(any::<u8>(), 1..16)) {
+/// decode_sizeof always agrees with the full decoder's length.
+#[test]
+fn sizeof_agrees_with_full_decode() {
+    for case in 0..2000u64 {
+        let mut rng = Rng::new(0x51_0001 + case);
+        let len = 1 + rng.below(15);
+        let bytes = rng.bytes(len);
         let size = decode_sizeof(&bytes);
         let full = decode_instr(&bytes, 0);
         match (size, full) {
-            (Ok(n), Ok((_, m))) => prop_assert_eq!(n, m),
+            (Ok(n), Ok((_, m))) => assert_eq!(n, m, "{bytes:02x?}"),
             (Err(_), Err(_)) => {}
             (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
-                // The strategies must fail identically.
-                prop_assert!(false, "sizeof/full decode disagree on {:02x?}", bytes);
+                panic!("sizeof/full decode disagree on {bytes:02x?}");
             }
         }
     }
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+/// The decoder never panics on arbitrary bytes.
+#[test]
+fn decoder_is_total() {
+    for case in 0..3000u64 {
+        let mut rng = Rng::new(0xD0_0001 + case);
+        let len = rng.below(32);
+        let bytes = rng.bytes(len);
         let _ = decode_sizeof(&bytes);
         let _ = decode_instr(&bytes, 0x1234);
     }
+}
 
-    /// Blocks decoded at any level re-encode to semantically identical code:
-    /// the re-encoded bytes decode to the same instruction sequence.
-    #[test]
-    fn block_level_round_trip(instrs in prop::collection::vec(arb_instr(), 1..12)) {
-        // Build a block from the synthesized instructions (drop rets to keep
-        // it a straight line, then terminate).
+/// Blocks decoded at any level re-encode to semantically identical code:
+/// the re-encoded bytes decode to the same instruction sequence.
+#[test]
+fn block_level_round_trip() {
+    for case in 0..300u64 {
+        let mut rng = Rng::new(0xB10C_0001 + case);
+        // Build a block from synthesized instructions (drop rets to keep it
+        // a straight line, then terminate).
         let mut il = InstrList::new();
-        for i in instrs {
+        for _ in 0..1 + rng.below(11) {
+            let i = gen_instr(&mut rng);
             if i.opcode() == Some(rio_ia32::Opcode::Ret) {
                 continue;
             }
@@ -144,33 +220,30 @@ proptest! {
         il.push_back(create::ret());
         let bytes = match encode_list(&il, 0x40_0000) {
             Ok(e) => e.bytes,
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         for level in [Level::L0, Level::L1, Level::L2, Level::L3] {
             let redecoded = InstrList::decode_block(&bytes, 0x40_0000, level)
                 .expect("own encodings decode at every level");
             let reencoded = encode_list(&redecoded, 0x40_0000).expect("re-encodes");
-            prop_assert_eq!(
-                &reencoded.bytes,
-                &bytes,
-                "level {:?} changed the code",
-                level
+            assert_eq!(
+                &reencoded.bytes, &bytes,
+                "case {case}: level {level:?} changed the code"
             );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// InstrList structural invariants under arbitrary edit sequences.
-    #[test]
-    fn instr_list_invariants(ops in prop::collection::vec(0u8..5, 1..60)) {
+/// InstrList structural invariants under arbitrary edit sequences.
+#[test]
+fn instr_list_invariants() {
+    for case in 0..200u64 {
+        let mut rng = Rng::new(0x11_0001 + case);
         let mut il = InstrList::new();
         let mut ids: Vec<rio_ia32::InstrId> = Vec::new();
         let mut expected_len = 0usize;
-        for op in ops {
-            match op {
+        for _ in 0..1 + rng.below(59) {
+            match rng.below(5) {
                 0 => {
                     ids.push(il.push_back(create::nop()));
                     expected_len += 1;
@@ -195,10 +268,10 @@ proptest! {
                 }
                 _ => {}
             }
-            prop_assert_eq!(il.len(), expected_len);
+            assert_eq!(il.len(), expected_len);
             // Forward and backward traversals agree.
             let fwd: Vec<_> = il.ids().collect();
-            prop_assert_eq!(fwd.len(), expected_len);
+            assert_eq!(fwd.len(), expected_len);
             let mut back = Vec::new();
             let mut cur = il.last_id();
             while let Some(id) = cur {
@@ -206,7 +279,7 @@ proptest! {
                 cur = il.prev_id(id);
             }
             back.reverse();
-            prop_assert_eq!(fwd, back);
+            assert_eq!(fwd, back);
         }
     }
 }

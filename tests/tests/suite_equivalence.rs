@@ -85,7 +85,12 @@ fn pentium3_model_preserves_correctness() {
     for b in suite_scaled(1).into_iter().take(6) {
         let image = rio_workloads::compile(&b.source).unwrap();
         let native = run_native(&image, CpuKind::Pentium3);
-        let r = run_config(&image, Options::full(), CpuKind::Pentium3, ClientKind::Combined);
+        let r = run_config(
+            &image,
+            Options::full(),
+            CpuKind::Pentium3,
+            ClientKind::Combined,
+        );
         assert_eq!(r.exit_code, native.exit_code, "{}", b.name);
         assert_eq!(r.output, native.output, "{}", b.name);
     }

@@ -91,9 +91,11 @@ fn caches_are_thread_private() {
     let total: usize = per_thread.iter().sum();
     let single_thread_blocks = {
         let mut solo = Rio::new(
-            &compile("fn bump(x) { return x * 3 + 1; }
+            &compile(
+                "fn bump(x) { return x * 3 + 1; }
                       fn main() { var i = 0; var s = 0;
-                                  while (i < 30) { s = s + bump(i); i++; } return s % 251; }")
+                                  while (i < 30) { s = s + bump(i); i++; } return s % 251; }",
+            )
             .unwrap(),
             Options::full(),
             CpuKind::Pentium4,
