@@ -67,6 +67,10 @@ pub struct ConfigResult {
     pub exit_code: i32,
     /// Application output (for validation).
     pub output: String,
+    /// Unhandled guest fault that ended the run, if any (the exit code is
+    /// then `128 + fault kind`). Suites report these as failures rather
+    /// than aborting the whole table.
+    pub fault: Option<String>,
 }
 
 impl From<RioRunResult> for ConfigResult {
@@ -77,6 +81,7 @@ impl From<RioRunResult> for ConfigResult {
             stats: r.stats,
             exit_code: r.exit_code,
             output: r.app_output,
+            fault: r.fault.map(|f| f.message),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! rio disasm <prog.dyna | bench:NAME>          disassemble the compiled image
 //! rio fragments <prog.dyna | bench:NAME> [options]  run, then dump the code cache
 //! rio suite [--client NAME] [--jobs N]         run the whole benchmark suite
+//! rio faults [--cpu p3|p4] [--jobs N]          fault-injection robustness suite
 //! rio bench-list                               list the benchmark suite
 //!
 //! run options:
@@ -26,15 +27,24 @@
 //! suite options: --client as above (the six measured kinds), --cpu,
 //! --jobs N (worker threads; also honors RIO_JOBS, defaults to the
 //! host's available parallelism).
+//!
+//! exit codes: the program's own status; 124 when a --max-instructions /
+//! --timeout-cycles budget runs out; on an unhandled guest fault,
+//! 128 + fault kind (129 divide error, 130 invalid opcode, 131 memory
+//! fault, 128 engine-level failure) with a one-line report on stderr —
+//! the same convention the simulated OS uses for native runs.
 //! ```
 
 use std::process::ExitCode;
 
 use rio_bench::{native_cycles, run_config, run_parallel, ClientKind};
 use rio_clients::{CTrace, Combined, IbDispatch, Inc2Add, InsCount, OpStats, Rlr, Shepherd};
-use rio_core::{Client, NullClient, Options, Rio, RioRunResult, Stats, StepBudget, StepOutcome};
-use rio_sim::{run_native, CpuKind, Image};
-use rio_workloads::{benchmark, compile, compiled_suite, suite};
+use rio_core::{
+    Client, Fault, FaultInjector, FaultKind, InjectionPlan, NullClient, Options, Rio, RioRunResult,
+    Stats, StepBudget, StepOutcome,
+};
+use rio_sim::{run_native, run_native_guarded, CpuKind, Image};
+use rio_workloads::{benchmark, compile, compiled_suite, faulting, suite};
 
 /// Exit code when a `--max-instructions` / `--timeout-cycles` budget runs
 /// out before the program exits (matches the `timeout(1)` convention).
@@ -183,7 +193,14 @@ fn run_with_client(image: &Image, a: &RunArgs) -> Result<DrivenRun, String> {
                     rio_core::StopReason::Timeout => "timeout",
                 }),
             }),
-            StepOutcome::Faulted(f) => Err(format!("fault at eip={:#x}: {}", f.eip, f.message)),
+            StepOutcome::Faulted(f) => {
+                let mut result = rio.result_snapshot(f.exit_code());
+                result.fault = Some(f);
+                Ok(DrivenRun {
+                    result,
+                    exhausted: None,
+                })
+            }
         }
     }
     match a.client.as_str() {
@@ -207,6 +224,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let run = run_with_client(&image, &a)?;
     let r = &run.result;
     print!("{}", r.app_output);
+    if let Some(f) = &r.fault {
+        // One faithful line carrying both address spaces; the exit status
+        // below follows the 128+kind convention documented in the header.
+        eprintln!("rio: {}", f.message);
+    }
     if run.exhausted.is_none() && (r.app_output != native.output || r.exit_code != native.exit_code)
     {
         eprintln!(
@@ -348,24 +370,357 @@ fn cmd_suite(args: &[String]) -> Result<ExitCode, String> {
         "{:<10} {:>12} {:>12} {:>8}",
         "benchmark", "native cyc", "rio cyc", "norm"
     );
-    let mut diverged_any = false;
+    let mut failed = 0usize;
     for (name, native, r, diverged) in &rows {
+        // A benchmark that faulted is recorded as a failed row (with the
+        // faithful fault report) rather than aborting the whole table.
+        let marker = match (&r.fault, diverged) {
+            (Some(msg), _) => format!("  !! FAULTED: {msg}"),
+            (None, true) => "  !! DIVERGED".to_string(),
+            (None, false) => String::new(),
+        };
         println!(
             "{:<10} {:>12} {:>12} {:>8.3}{}",
             name,
             native,
             r.cycles,
             r.cycles as f64 / *native as f64,
-            if *diverged { "  !! DIVERGED" } else { "" }
+            marker
         );
-        diverged_any |= diverged;
+        failed += usize::from(*diverged || r.fault.is_some());
     }
     let total = Stats::aggregate(rows.iter().map(|(_, _, r, _)| &r.stats));
     println!();
     println!("aggregate: {total}");
-    if diverged_any {
-        return Err("at least one benchmark diverged from native execution".into());
+    if failed > 0 {
+        return Err(format!(
+            "{failed} benchmark(s) faulted or diverged from native execution"
+        ));
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----- fault-injection robustness suite -----------------------------------
+
+/// A fixed, fault-free workload the injection scenarios perturb.
+const INJECT_SOURCE: &str = "fn main() {
+    var i = 0;
+    var s = 0;
+    while (i < 4000) { s = s + i * 3 % 97; i++; }
+    return s % 100;
+}";
+
+/// One scenario of the `rio faults` matrix.
+#[derive(Clone, Copy, Debug)]
+enum FaultScenario {
+    /// Inject an architectural fault at a fixed instruction count into a
+    /// fault-free workload; expect exactly one `Faulted` outcome of that
+    /// kind, then a resumed run identical to native.
+    Inject { kind: FaultKind, emulate: bool },
+    /// Corrupt every warm fragment's cache copy; expect invalid-opcode
+    /// faults, eviction, quarantine emulation, and a self-healed run
+    /// identical to native.
+    CorruptAll,
+    /// Genuine divide-by-zero in a hot loop, recovered by a guest handler.
+    DivRecover { emulate: bool },
+    /// Genuine wild load into a guarded region, recovered by a handler.
+    WildLoad { emulate: bool },
+    /// Unhandled divide error: exit 129 in every mode.
+    DivUnhandled { emulate: bool },
+    /// Unhandled memory fault: exit 131 in every mode.
+    WildUnhandled { emulate: bool },
+}
+
+impl FaultScenario {
+    fn name(self) -> String {
+        let mode = |e: bool| if e { "emulate" } else { "cache" };
+        match self {
+            FaultScenario::Inject { kind, emulate } => {
+                format!("inject-{kind}-{}", mode(emulate)).replace(' ', "-")
+            }
+            FaultScenario::CorruptAll => "corrupt-cache-copies".into(),
+            FaultScenario::DivRecover { emulate } => format!("div-recover-{}", mode(emulate)),
+            FaultScenario::WildLoad { emulate } => format!("wild-load-{}", mode(emulate)),
+            FaultScenario::DivUnhandled { emulate } => format!("div-unhandled-{}", mode(emulate)),
+            FaultScenario::WildUnhandled { emulate } => {
+                format!("wild-unhandled-{}", mode(emulate))
+            }
+        }
+    }
+
+    const ALL: [FaultScenario; 15] = [
+        FaultScenario::Inject {
+            kind: FaultKind::DivideError,
+            emulate: false,
+        },
+        FaultScenario::Inject {
+            kind: FaultKind::DivideError,
+            emulate: true,
+        },
+        FaultScenario::Inject {
+            kind: FaultKind::InvalidOpcode,
+            emulate: false,
+        },
+        FaultScenario::Inject {
+            kind: FaultKind::InvalidOpcode,
+            emulate: true,
+        },
+        FaultScenario::Inject {
+            kind: FaultKind::MemFault,
+            emulate: false,
+        },
+        FaultScenario::Inject {
+            kind: FaultKind::MemFault,
+            emulate: true,
+        },
+        FaultScenario::CorruptAll,
+        FaultScenario::DivRecover { emulate: false },
+        FaultScenario::DivRecover { emulate: true },
+        FaultScenario::WildLoad { emulate: false },
+        FaultScenario::WildLoad { emulate: true },
+        FaultScenario::DivUnhandled { emulate: false },
+        FaultScenario::DivUnhandled { emulate: true },
+        FaultScenario::WildUnhandled { emulate: false },
+        FaultScenario::WildUnhandled { emulate: true },
+    ];
+}
+
+/// Step a session in small budget slices (so injection plans get applied
+/// mid-run and fault delivery interleaves with suspension), collecting
+/// every `Faulted` outcome. Stops after `max_faults` terminal faults —
+/// sessions stay resumable after a fault, so a genuinely faulting program
+/// would otherwise re-report forever.
+fn drive_faulty<C: Client>(
+    mut rio: Rio<C>,
+    mut injector: Option<FaultInjector>,
+    max_faults: usize,
+) -> (RioRunResult, Vec<Fault>) {
+    let mut faults: Vec<Fault> = Vec::new();
+    loop {
+        if let Some(inj) = injector.as_mut() {
+            inj.poll(&mut rio);
+        }
+        match rio.step(StepBudget::instructions(200)) {
+            StepOutcome::Running(_) => {}
+            StepOutcome::Exited(code) => return (rio.result_snapshot(code), faults),
+            StepOutcome::Faulted(f) => {
+                let done = faults.len() + 1 >= max_faults;
+                faults.push(f);
+                if done {
+                    let last = faults.last().expect("just pushed").clone();
+                    let mut r = rio.result_snapshot(last.exit_code());
+                    r.fault = Some(last);
+                    return (r, faults);
+                }
+            }
+        }
+    }
+}
+
+fn scenario_options(emulate: bool) -> Options {
+    if emulate {
+        Options::emulation()
+    } else {
+        Options::full()
+    }
+}
+
+/// Run one scenario; `Ok` is the deterministic report line.
+fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> {
+    let name = s.name();
+    let fail = |why: String| Err(format!("{name}: {why}"));
+    match s {
+        FaultScenario::Inject { kind, emulate } => {
+            let image = compile(INJECT_SOURCE).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native(&image, cpu);
+            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let injector = FaultInjector::new(InjectionPlan::AtInstruction { at: 400, kind });
+            let (r, faults) = drive_faulty(rio, Some(injector), 8);
+            if faults.len() != 1 || faults[0].kind != Some(kind) {
+                return fail(format!(
+                    "expected exactly one injected {kind}, got {:?}",
+                    faults.iter().map(|f| f.kind).collect::<Vec<_>>()
+                ));
+            }
+            if r.exit_code != native.exit_code || r.app_output != native.output {
+                return fail(format!(
+                    "resumed run diverged from native (exit {} vs {})",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            Ok(format!(
+                "ok {name}: faulted at eip {:#x} (app pc {:?}), resumed to native-identical exit {}",
+                faults[0].cache_eip,
+                faults[0].app_pc.map(|p| format!("{p:#x}")),
+                r.exit_code
+            ))
+        }
+        FaultScenario::CorruptAll => {
+            let image = compile(INJECT_SOURCE).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native(&image, cpu);
+            let rio = Rio::new(&image, Options::full(), cpu, NullClient);
+            let injector = FaultInjector::new(InjectionPlan::CorruptAll { min_frags: 4 });
+            let (r, faults) = drive_faulty(rio, Some(injector), 64);
+            if faults.is_empty() {
+                return fail("corruption never raised a fault".into());
+            }
+            if let Some(bad) = faults
+                .iter()
+                .find(|f| f.kind != Some(FaultKind::InvalidOpcode))
+            {
+                return fail(format!("unexpected fault kind: {}", bad.message));
+            }
+            if r.exit_code != native.exit_code || r.app_output != native.output {
+                return fail(format!(
+                    "self-healed run diverged from native (exit {} vs {})",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            if r.stats.fault_evictions == 0 {
+                return fail("no fragment was evicted".into());
+            }
+            Ok(format!(
+                "ok {name}: {} faults, {} evictions, self-healed to native-identical exit {}",
+                faults.len(),
+                r.stats.fault_evictions,
+                r.exit_code
+            ))
+        }
+        FaultScenario::DivRecover { emulate } => {
+            let image = compile(&faulting::div_recover()).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native(&image, cpu);
+            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let (r, faults) = drive_faulty(rio, None, 1);
+            if !faults.is_empty() {
+                return fail(format!("unexpected terminal fault: {}", faults[0].message));
+            }
+            if r.exit_code != 0 || native.exit_code != 0 || r.app_output != native.output {
+                return fail(format!(
+                    "diverged from native (exit {} vs {})",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            if r.stats.faults_delivered != faulting::DIV_RECOVER_FAULTS as u64 {
+                return fail(format!(
+                    "expected {} deliveries, got {}",
+                    faulting::DIV_RECOVER_FAULTS,
+                    r.stats.faults_delivered
+                ));
+            }
+            Ok(format!(
+                "ok {name}: {} faults delivered in a hot loop, output native-identical",
+                r.stats.faults_delivered
+            ))
+        }
+        FaultScenario::WildLoad { emulate } => {
+            let image = compile(&faulting::wild_load()).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native_guarded(&image, cpu, faulting::guard_regions());
+            let mut rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            rio.core
+                .machine
+                .set_guard_regions(faulting::guard_regions());
+            let (r, faults) = drive_faulty(rio, None, 1);
+            if !faults.is_empty() {
+                return fail(format!("unexpected terminal fault: {}", faults[0].message));
+            }
+            if r.exit_code != 0 || native.exit_code != 0 || r.app_output != native.output {
+                return fail(format!(
+                    "diverged from native (exit {} vs {})",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            Ok(format!(
+                "ok {name}: guarded load delivered and recovered, output native-identical"
+            ))
+        }
+        FaultScenario::DivUnhandled { emulate } => {
+            let image = compile(&faulting::div_unhandled()).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native(&image, cpu);
+            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let (r, faults) = drive_faulty(rio, None, 1);
+            if faults.len() != 1 || faults[0].kind != Some(FaultKind::DivideError) {
+                return fail("expected one unhandled divide error".into());
+            }
+            if r.exit_code != 129 || native.exit_code != 129 {
+                return fail(format!(
+                    "expected exit 129 everywhere, got rio {} native {}",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            Ok(format!(
+                "ok {name}: unhandled divide error, exit 129 in every mode"
+            ))
+        }
+        FaultScenario::WildUnhandled { emulate } => {
+            let image = compile(&faulting::wild_unhandled()).map_err(|e| format!("{name}: {e}"))?;
+            let native = run_native_guarded(&image, cpu, faulting::guard_regions());
+            let mut rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            rio.core
+                .machine
+                .set_guard_regions(faulting::guard_regions());
+            let (r, faults) = drive_faulty(rio, None, 1);
+            if faults.len() != 1 || faults[0].kind != Some(FaultKind::MemFault) {
+                return fail("expected one unhandled memory fault".into());
+            }
+            if r.exit_code != 131 || native.exit_code != 131 {
+                return fail(format!(
+                    "expected exit 131 everywhere, got rio {} native {}",
+                    r.exit_code, native.exit_code
+                ));
+            }
+            Ok(format!(
+                "ok {name}: unhandled memory fault, exit 131 in every mode"
+            ))
+        }
+    }
+}
+
+/// `rio faults`: the deterministic fault-injection robustness matrix —
+/// three fault kinds across cache and emulation modes, cache-copy
+/// corruption with self-healing, and the genuine faulting workloads, all
+/// driven through budgeted (suspendable) sessions. Output is byte-identical
+/// for any `--jobs` value.
+fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
+    let mut cpu = CpuKind::Pentium4;
+    let mut njobs = rio_bench::jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cpu" => {
+                cpu = match it.next().ok_or("--cpu needs a value")?.as_str() {
+                    "p3" => CpuKind::Pentium3,
+                    "p4" => CpuKind::Pentium4,
+                    other => return Err(format!("unknown cpu `{other}` (p3|p4)")),
+                };
+            }
+            "--jobs" | "-j" => {
+                njobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad job count: {e}"))?
+                    .max(1);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
+        run_fault_scenario(s, cpu)
+    });
+    let mut failures = 0usize;
+    for row in &rows {
+        match row {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                println!("FAIL {line}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} fault scenario(s) failed"));
+    }
+    println!("all {} fault scenarios passed", rows.len());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -397,6 +752,7 @@ fn main() -> ExitCode {
         "fragments" => cmd_fragments(rest),
         "disasm" => cmd_disasm(rest),
         "suite" => cmd_suite(rest),
+        "faults" => cmd_faults(rest),
         "bench-list" => Ok(cmd_bench_list()),
         _ => return usage(),
     };

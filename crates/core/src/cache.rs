@@ -76,6 +76,27 @@ pub struct Exit {
     pub branch_instr_off: u32,
 }
 
+/// One row of a fragment's fault-translation table: from this byte offset
+/// (until the next row) the fragment executes the translation of the
+/// application instruction at `app_pc`, and `ecx_spilled` records whether
+/// the application's `%ecx` currently lives in the spill slot (a mangling
+/// side effect that must be rolled back to present original register
+/// state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Byte offset within the fragment body.
+    pub cache_off: u32,
+    /// Application pc of the instruction translated here.
+    pub app_pc: u32,
+    /// Whether the application's `%ecx` is in the spill slot here.
+    pub ecx_spilled: bool,
+    /// The row covers a Level 0 bundle whose bytes were copied into the
+    /// cache verbatim: cache offsets past `cache_off` map 1:1 onto
+    /// application pcs past `app_pc`, so one row translates every
+    /// instruction in the bundle precisely.
+    pub linear: bool,
+}
+
 /// A fragment resident in the code cache.
 #[derive(Clone, Debug)]
 pub struct Fragment {
@@ -105,6 +126,12 @@ pub struct Fragment {
     /// Whether the fragment has been deleted (awaiting or past the safe
     /// deletion point).
     pub deleted: bool,
+    /// Fault-translation table, sorted by `cache_off` (built at emit time
+    /// from the `app_pc` values threaded through mangling).
+    pub translations: Vec<Translation>,
+    /// Guest faults raised while executing this fragment (drives the
+    /// self-healing eviction of repeatedly-faulting fragments).
+    pub faults: u32,
 }
 
 impl Fragment {
@@ -116,6 +143,25 @@ impl Fragment {
     /// Whether a cache address falls within this fragment.
     pub fn contains(&self, addr: u32) -> bool {
         addr >= self.start && addr < self.start + self.total_len
+    }
+
+    /// Translate a cache address inside this fragment back to application
+    /// state: the row with the largest `cache_off` not beyond the address.
+    /// For a `linear` (verbatim bundle) row the returned `app_pc` is
+    /// adjusted by the byte offset into the bundle, so it names the exact
+    /// application instruction. `None` when the address precedes the first
+    /// translated instruction (e.g. a trampoline) or the table is empty.
+    pub fn translate(&self, cache_addr: u32) -> Option<Translation> {
+        let off = cache_addr.checked_sub(self.start)?;
+        let mut t = *self
+            .translations
+            .iter()
+            .take_while(|t| t.cache_off <= off)
+            .last()?;
+        if t.linear {
+            t.app_pc += off - t.cache_off;
+        }
+        Some(t)
     }
 }
 
@@ -313,6 +359,23 @@ impl CodeCache {
         self.entry_by_addr.get(&addr).copied()
     }
 
+    /// The fragment whose cache range contains `addr` — the lookup a fault
+    /// needs, since a fault lands mid-body rather than at an entry point.
+    /// Prefers a live fragment when ranges overlap with a deleted one whose
+    /// bytes are still resident.
+    pub fn frag_by_addr(&self, addr: u32) -> Option<FragmentId> {
+        let mut found = None;
+        for f in &self.frags {
+            if f.contains(addr) {
+                if !f.deleted {
+                    return Some(f.id);
+                }
+                found.get_or_insert(f.id);
+            }
+        }
+        found
+    }
+
     /// Remove a fragment from the lookup tables (it can no longer be entered
     /// or linked; its bytes stay resident until control has left them).
     pub fn remove_from_maps(&mut self, id: FragmentId) {
@@ -370,6 +433,8 @@ mod tests {
             is_trace_head: false,
             counter: 0,
             deleted: false,
+            translations: Vec::new(),
+            faults: 0,
         }
     }
 
@@ -463,5 +528,71 @@ mod tests {
         assert_eq!(c.lookup(0x3000), Some(new));
         c.remove_from_maps(old);
         assert_eq!(c.lookup(0x3000), Some(new));
+    }
+
+    #[test]
+    fn frag_by_addr_finds_mid_body_addresses_and_prefers_live() {
+        let mut c = CodeCache::new();
+        let s1 = c.alloc(FragmentKind::BasicBlock, 32);
+        let a = c.insert(dummy_frag(0x4000, FragmentKind::BasicBlock, s1));
+        assert_eq!(c.frag_by_addr(s1 + 5), Some(a));
+        assert_eq!(c.frag_by_addr(s1 + 19), Some(a));
+        assert_eq!(c.frag_by_addr(s1 + 20), None); // total_len is 20
+        c.frag_mut(a).deleted = true;
+        // Deleted fragments still resolve (bytes resident) unless a live
+        // fragment covers the same address.
+        assert_eq!(c.frag_by_addr(s1 + 5), Some(a));
+    }
+
+    #[test]
+    fn translate_picks_last_row_at_or_before_the_address() {
+        let mut f = dummy_frag(0x5000, FragmentKind::BasicBlock, 0x100);
+        f.translations = vec![
+            Translation {
+                cache_off: 0,
+                app_pc: 0x5000,
+                ecx_spilled: false,
+                linear: false,
+            },
+            Translation {
+                cache_off: 4,
+                app_pc: 0x5002,
+                ecx_spilled: true,
+                linear: false,
+            },
+        ];
+        assert_eq!(f.translate(0x100).unwrap().app_pc, 0x5000);
+        assert_eq!(f.translate(0x103).unwrap().app_pc, 0x5000);
+        let t = f.translate(0x109).unwrap();
+        assert_eq!(t.app_pc, 0x5002);
+        assert!(t.ecx_spilled);
+        assert_eq!(f.translate(0xFF), None); // before the fragment
+    }
+
+    #[test]
+    fn linear_rows_translate_bundle_interiors_precisely() {
+        let mut f = dummy_frag(0x5000, FragmentKind::BasicBlock, 0x100);
+        f.translations = vec![
+            // A verbatim 9-byte bundle of app instructions at 0x5000.
+            Translation {
+                cache_off: 0,
+                app_pc: 0x5000,
+                ecx_spilled: false,
+                linear: true,
+            },
+            // The mangled block terminator.
+            Translation {
+                cache_off: 9,
+                app_pc: 0x5009,
+                ecx_spilled: false,
+                linear: false,
+            },
+        ];
+        assert_eq!(f.translate(0x100).unwrap().app_pc, 0x5000);
+        // Interior of the bundle: byte offsets map 1:1 onto app pcs.
+        assert_eq!(f.translate(0x103).unwrap().app_pc, 0x5003);
+        assert_eq!(f.translate(0x108).unwrap().app_pc, 0x5008);
+        // Past the bundle the non-linear terminator row wins.
+        assert_eq!(f.translate(0x10C).unwrap().app_pc, 0x5009);
     }
 }

@@ -8,6 +8,7 @@
 //! internals beyond the exported API.
 
 use rio_ia32::InstrList;
+use rio_sim::FaultKind;
 
 use crate::core::Core;
 
@@ -82,6 +83,22 @@ pub trait Client {
     /// the block or trace cache.
     fn fragment_deleted(&mut self, core: &mut Core, tag: u32) {
         let _ = (core, tag);
+    }
+
+    /// Called when the application raises a fault, before delivery to the
+    /// guest handler (or before the session surfaces a terminal
+    /// [`Faulted`](crate::StepOutcome::Faulted) outcome if no handler is
+    /// registered). `cache_eip` is where the machine actually faulted — a
+    /// code-cache address in cache mode — and `app_pc` is the translated
+    /// application pc when the engine could reconstruct it.
+    fn fault_event(
+        &mut self,
+        core: &mut Core,
+        kind: FaultKind,
+        cache_eip: u32,
+        app_pc: Option<u32>,
+    ) {
+        let _ = (core, kind, cache_eip, app_pc);
     }
 
     /// `dynamorio_end_trace` — asks the client whether to end the trace

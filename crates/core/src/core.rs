@@ -34,6 +34,14 @@ pub(crate) struct ThreadCore {
     pub cache: CodeCache,
     pub recording: Option<Recording>,
     pub last_exit_was_return: bool,
+    /// Tags whose fragments were evicted for repeated faulting; the next
+    /// dispatch of such a tag runs the application code by emulation
+    /// instead of rebuilding a (possibly still-faulting) cache copy.
+    pub fault_quarantine: HashSet<u32>,
+    /// Whether the thread is currently executing a quarantined block
+    /// outside the cache (so `handle_leave` treats application addresses
+    /// as ordinary dispatch targets).
+    pub quarantine_exec: bool,
 }
 
 impl ThreadCore {
@@ -42,6 +50,8 @@ impl ThreadCore {
             cache: CodeCache::for_thread(tid),
             recording: None,
             last_exit_was_return: false,
+            fault_quarantine: HashSet::new(),
+            quarantine_exec: false,
         }
     }
 }
@@ -64,6 +74,7 @@ pub struct Core {
     pub(crate) marked_heads: HashSet<u32>,
     pub(crate) app_entry: u32,
     pub(crate) app_code_range: (u32, u32),
+    pub(crate) last_dispatched: Option<u32>,
     clean_call_args: Vec<u64>,
     client_output: String,
     sideline_queue: Vec<(u32, u64)>,
@@ -89,6 +100,7 @@ impl Core {
             marked_heads: HashSet::new(),
             app_entry: image.entry,
             app_code_range: image.code_range(),
+            last_dispatched: None,
             clean_call_args: Vec::new(),
             client_output: String::new(),
             sideline_queue: Vec::new(),
@@ -531,6 +543,36 @@ impl Core {
             }
         }
         tags
+    }
+
+    // ----- fault recovery ---------------------------------------------------
+
+    /// Evict a repeatedly-faulting fragment through the flush machinery
+    /// (unlink both directions, drop from the lookup tables, tombstone) and
+    /// quarantine its tag so the next dispatch re-executes the application
+    /// code by emulation instead of rebuilding a corrupt copy. Returns the
+    /// fragment's tag for the `fragment_deleted` client hook.
+    ///
+    /// Safe while `eip` is still inside the fragment: the bytes stay
+    /// resident (tombstoned, not reused), and delivery redirects control
+    /// out of the fragment before it could re-enter.
+    pub(crate) fn fault_evict(&mut self, id: FragmentId) -> u32 {
+        let tag = self.threads[self.cur].cache.frag(id).tag;
+        unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
+        unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
+        self.threads[self.cur].cache.remove_from_maps(id);
+        self.threads[self.cur].cache.frag_mut(id).deleted = true;
+        self.threads[self.cur].fault_quarantine.insert(tag);
+        self.stats.deletions += 1;
+        self.stats.fault_evictions += 1;
+        tag
+    }
+
+    /// Consume the quarantine marker for `tag`, if present. The dispatch
+    /// that consumes it runs the block by emulation; subsequent dispatches
+    /// rebuild a fresh cache copy (self-healing).
+    pub(crate) fn take_fault_quarantine(&mut self, tag: u32) -> bool {
+        self.threads[self.cur].fault_quarantine.remove(&tag)
     }
 
     // ----- introspection for reports ---------------------------------------

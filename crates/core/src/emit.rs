@@ -11,10 +11,12 @@ use std::error::Error;
 use std::fmt;
 
 use rio_ia32::encode::encode_list;
-use rio_ia32::{create, EncodeError, Instr, InstrId, InstrList, Opcode, Target};
+use rio_ia32::{create, EncodeError, Instr, InstrId, InstrList, Level, Opcode, Target};
 use rio_sim::{Image, Machine};
 
-use crate::cache::{CodeCache, Exit, ExitKind, Fragment, FragmentId, FragmentKind, IndKind};
+use crate::cache::{
+    CodeCache, Exit, ExitKind, Fragment, FragmentId, FragmentKind, IndKind, Translation,
+};
 use crate::config::layout;
 use crate::mangle::Note;
 
@@ -208,6 +210,50 @@ pub fn emit_fragment(
     };
 
     let body_len = offset_of(boundary);
+
+    // Build the fault-translation table: one row per encoded body
+    // instruction, recording the application pc it translates and whether
+    // the application's %ecx lives in the spill slot at its start.
+    // Mangling-inserted instructions (zero `app_pc`) inherit the pc of the
+    // application instruction they expand; anything before the first
+    // app-tagged instruction belongs to the block entry (`tag`).
+    let mut translations: Vec<Translation> = Vec::new();
+    let mut spilled = false;
+    let mut cur_pc = tag;
+    for iid in il.ids() {
+        if iid == boundary {
+            break;
+        }
+        let instr = il.get(iid);
+        // Skip zero-width labels — but not Level 0 bundles, which also have
+        // no single opcode yet occupy bytes and need a translation row.
+        if instr.is_label() {
+            continue;
+        }
+        let Some(off) = encoded.offset_of(iid) else {
+            continue;
+        };
+        if instr.app_pc() != 0 {
+            cur_pc = instr.app_pc();
+        }
+        translations.push(Translation {
+            cache_off: off,
+            app_pc: cur_pc,
+            ecx_spilled: spilled,
+            // Level 0 bundles are copied into the cache verbatim, so one
+            // row translates the whole bundle by linear offset.
+            linear: instr.level() == Level::L0,
+        });
+        // The spill itself executes with %ecx intact (faults are precise),
+        // so the state flips *after* the marked instruction; likewise the
+        // restore ends the spilled region only once it has executed.
+        match Note::parse(instr.note) {
+            Some(Note::Spill) | Some(Note::IbCheckBegin { .. }) => spilled = true,
+            Some(Note::IbCheckEnd) => spilled = false,
+            _ => {}
+        }
+    }
+
     let exits: Vec<Exit> = builds
         .iter()
         .map(|b| {
@@ -246,6 +292,8 @@ pub fn emit_fragment(
         is_trace_head: false,
         counter: 0,
         deleted: false,
+        translations,
+        faults: 0,
     });
     debug_assert_eq!(id, frag_id);
     Ok(id)
@@ -265,7 +313,7 @@ fn cache_stub_count(cache: &CodeCache, base: u32) -> usize {
 mod tests {
     use super::*;
     use crate::mangle::mangle_bb;
-    use rio_ia32::{Level, Opnd, Reg};
+    use rio_ia32::{Opnd, Reg};
     use rio_sim::CpuKind;
 
     fn machine() -> Machine {
@@ -343,6 +391,34 @@ mod tests {
         let f = cache.frag(id);
         assert!(f.body_len > 0);
         assert!(f.body_len <= f.total_len);
+    }
+
+    #[test]
+    fn translation_table_maps_cache_offsets_and_tracks_the_spill() {
+        // mov eax,1 (app 0x1000) ; ret (app 0x1005, mangled to
+        // spill/pop/exit-jmp which all inherit the ret's pc).
+        let (_, cache, id) = emit_block(&[0xB8, 1, 0, 0, 0, 0xC3], 0x1000);
+        let f = cache.frag(id);
+        assert_eq!(f.translations.len(), 4);
+        assert_eq!(
+            f.translations[0],
+            Translation {
+                cache_off: 0,
+                app_pc: 0x1000,
+                ecx_spilled: false,
+                linear: false
+            }
+        );
+        // The spill itself still sees the app's %ecx; everything after it
+        // until the exit is in the spilled region.
+        assert_eq!(f.translations[1].app_pc, 0x1005);
+        assert!(!f.translations[1].ecx_spilled);
+        assert!(f.translations[2].ecx_spilled);
+        assert!(f.translations[3].ecx_spilled);
+        // A fault mid-body (at the pop) translates to the ret's app pc.
+        let t = f.translate(f.start + f.translations[2].cache_off).unwrap();
+        assert_eq!(t.app_pc, 0x1005);
+        assert!(t.ecx_spilled);
     }
 
     #[test]

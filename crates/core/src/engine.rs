@@ -25,7 +25,10 @@ use std::time::{Duration, Instant};
 use rio_ia32::Reg;
 use rio_sim::cpu::CpuState;
 use rio_sim::os::{SyscallAction, THREAD_STACK_SIZE};
-use rio_sim::{Counters, CpuExit, CpuKind, ExecRegion, Image, SYSCALL_VECTOR};
+use rio_sim::{
+    deliver_fault, resume_pc_after, Counters, CpuExit, CpuKind, ExecRegion, FaultKind, Image,
+    SYSCALL_VECTOR,
+};
 
 use crate::build::decode_bb;
 use crate::cache::{ExitKind, FragmentId, FragmentKind, IndKind};
@@ -52,6 +55,9 @@ pub struct RioRunResult {
     pub stats: Stats,
     /// Cycles spent in sideline optimization (not charged to the run).
     pub sideline_cycles: u64,
+    /// The unhandled guest fault that ended the run, if any (`exit_code` is
+    /// then `128 + fault kind`).
+    pub fault: Option<Fault>,
 }
 
 /// A bound on how much work one [`Rio::step`] call may perform before
@@ -122,16 +128,61 @@ pub enum StopReason {
     Timeout,
 }
 
-/// A terminal execution failure (invalid code, divide error, control at an
-/// unclassifiable address). [`Rio::run`] panics on faults — they indicate
-/// workload or engine bugs — but [`Rio::step`] surfaces them so harnesses
-/// (fault injection, fuzzers) can observe and report them.
+/// A terminal execution failure: a guest fault with no registered handler
+/// (or one past the delivery cap), or control at an address the engine
+/// cannot classify. Guest faults carry both the cache address where the
+/// machine actually faulted and the translated application pc, so reports
+/// are meaningful in either address space.
 #[derive(Clone, Debug)]
 pub struct Fault {
-    /// Human-readable description of the failure.
+    /// `eip` at the time of the fault: a code-cache address when the fault
+    /// was raised inside an emitted fragment, an application address under
+    /// emulation or quarantined execution.
+    pub cache_eip: u32,
+    /// The application pc the faulting address translates to, when known.
+    pub app_pc: Option<u32>,
+    /// Architectural fault kind for guest faults; `None` for engine-level
+    /// classification failures.
+    pub kind: Option<FaultKind>,
+    /// Human-readable description carrying both addresses.
     pub message: String,
-    /// `eip` at the time of the fault.
-    pub eip: u32,
+}
+
+impl Fault {
+    /// An unhandled guest fault.
+    fn guest(kind: FaultKind, cache_eip: u32, app_pc: Option<u32>, addr: u32) -> Fault {
+        let message = match app_pc {
+            Some(pc) => format!(
+                "unhandled {kind} at cache eip {cache_eip:#x} (app pc {pc:#x}, fault addr {addr:#x})"
+            ),
+            None => format!(
+                "unhandled {kind} at eip {cache_eip:#x} (fault addr {addr:#x}, no app translation)"
+            ),
+        };
+        Fault {
+            cache_eip,
+            app_pc,
+            kind: Some(kind),
+            message,
+        }
+    }
+
+    /// An engine-level failure (no architectural fault kind).
+    fn engine(cache_eip: u32, message: String) -> Fault {
+        Fault {
+            cache_eip,
+            app_pc: None,
+            kind: None,
+            message,
+        }
+    }
+
+    /// Process exit status conventionally reported for this fault:
+    /// `128 + kind` (129 divide error, 130 invalid opcode, 131 memory
+    /// fault), or 128 for engine-level failures.
+    pub fn exit_code(&self) -> i32 {
+        128 + self.kind.map_or(0, |k| k.code() as i32)
+    }
 }
 
 /// Result of one [`Rio::step`] call.
@@ -143,7 +194,10 @@ pub enum StepOutcome {
     /// The application exited with this status. Subsequent steps return
     /// `Exited` again without executing anything.
     Exited(i32),
-    /// Execution failed; the session cannot make further progress.
+    /// Execution failed: an unhandled guest fault or an engine
+    /// classification failure. The session stays suspended at the fault —
+    /// stepping again re-attempts (and re-reports) it, so a harness can
+    /// register a handler or flush the cache and resume.
     Faulted(Fault),
 }
 
@@ -237,7 +291,7 @@ impl BudgetMeter {
 ///     match rio.step(StepBudget::instructions(10_000)) {
 ///         StepOutcome::Running(_) => continue, // safe point: inspect, flush, resume
 ///         StepOutcome::Exited(code) => break assert_eq!(code, 0),
-///         StepOutcome::Faulted(f) => panic!("{}", f.message),
+///         StepOutcome::Faulted(f) => break eprintln!("{}", f.message),
 ///     }
 /// }
 /// ```
@@ -298,6 +352,10 @@ struct Parked {
 /// Cycle cost of an engine-level thread switch.
 const THREAD_SWITCH_COST: u64 = 400;
 
+/// Faults observed in one fragment before it is evicted and its tag
+/// quarantined (self-healing for corrupted cache copies).
+const FAULT_EVICT_THRESHOLD: u32 = 2;
+
 impl<C: Client> Rio<C> {
     /// Create an engine over `image` with the given options, processor
     /// model, and client.
@@ -315,17 +373,20 @@ impl<C: Client> Rio<C> {
     /// counters, stats, and output are bit-identical however the run is
     /// sliced into steps.
     ///
-    /// # Panics
-    ///
-    /// Panics if the application faults (invalid code, divide error) or
-    /// control reaches an address the engine cannot classify — these
-    /// indicate workload or engine bugs, not recoverable conditions.
+    /// An unhandled guest fault ends the run cleanly (never a panic): the
+    /// result carries the [`Fault`] in [`RioRunResult::fault`] and an exit
+    /// status of `128 + fault kind`, mirroring what the simulated OS
+    /// reports for an unhandled fault under native execution.
     pub fn run(&mut self) -> RioRunResult {
         loop {
             match self.step(StepBudget::unlimited()) {
                 StepOutcome::Running(_) => {}
                 StepOutcome::Exited(code) => return self.result_snapshot(code),
-                StepOutcome::Faulted(f) => panic!("{}", f.message),
+                StepOutcome::Faulted(f) => {
+                    let mut r = self.result_snapshot(f.exit_code());
+                    r.fault = Some(f);
+                    return r;
+                }
             }
         }
     }
@@ -414,6 +475,7 @@ impl<C: Client> Rio<C> {
             counters: self.core.machine.counters,
             stats: self.core.stats,
             sideline_cycles: self.core.sideline_cycles(),
+            fault: None,
         }
     }
 
@@ -437,11 +499,27 @@ impl<C: Client> Rio<C> {
                         return StepOutcome::Exited(self.core.os.exit_code.unwrap_or(0));
                     }
                 }
+                CpuExit::Fault { kind, pc, addr } => {
+                    // Under emulation the faulting pc *is* the app pc.
+                    self.core.stats.faults_raised += 1;
+                    self.client.fault_event(&mut self.core, kind, pc, Some(pc));
+                    match self.core.os.take_delivery_target() {
+                        Some(handler) => {
+                            let resume = resume_pc_after(&self.core.machine, pc);
+                            deliver_fault(&mut self.core.machine, handler, kind, pc, resume);
+                            self.core.stats.faults_delivered += 1;
+                        }
+                        None => {
+                            return StepOutcome::Faulted(Fault::guest(kind, pc, Some(pc), addr))
+                        }
+                    }
+                }
                 other => {
-                    return StepOutcome::Faulted(Fault {
-                        message: format!("emulation failed: {other:?}"),
-                        eip: self.core.machine.cpu.eip,
-                    })
+                    let eip = self.core.machine.cpu.eip;
+                    return StepOutcome::Faulted(Fault::engine(
+                        eip,
+                        format!("emulation failed: {other:?} at eip={eip:#x}"),
+                    ));
                 }
             }
         }
@@ -459,8 +537,18 @@ impl<C: Client> Rio<C> {
             if let Some(action) = session.pending.take() {
                 match action {
                     Resume::Dispatch(t) => {
-                        let frag = self.dispatch(t);
-                        self.enter(frag);
+                        if self.core.take_fault_quarantine(t) {
+                            self.emulate_quarantined(t);
+                        } else {
+                            match self.dispatch(t) {
+                                Ok(frag) => self.enter(frag),
+                                Err(fault) => {
+                                    if let Some(outcome) = self.failed_dispatch(session, t, fault) {
+                                        return outcome;
+                                    }
+                                }
+                            }
+                        }
                     }
                     Resume::InCache(regions) => {
                         self.core.machine.set_exec_regions(regions);
@@ -516,17 +604,164 @@ impl<C: Client> Rio<C> {
                     Ok(Leave::Dispatch(t)) => session.pending = Some(Resume::Dispatch(t)),
                     Err(fault) => return StepOutcome::Faulted(fault),
                 },
+                CpuExit::Fault { kind, pc, addr } => {
+                    if let Some(outcome) = self.handle_guest_fault(session, kind, pc, addr) {
+                        return outcome;
+                    }
+                }
                 other => {
-                    return StepOutcome::Faulted(Fault {
-                        message: format!(
-                            "execution failed: {other:?} at eip={:#x}",
-                            self.core.machine.cpu.eip
-                        ),
-                        eip: self.core.machine.cpu.eip,
-                    })
+                    let eip = self.core.machine.cpu.eip;
+                    return StepOutcome::Faulted(Fault::engine(
+                        eip,
+                        format!("execution failed: {other:?} at eip={eip:#x}"),
+                    ));
                 }
             }
         }
+    }
+
+    // ----- guest faults ----------------------------------------------------
+
+    /// A guest fault surfaced while executing under the engine. Translates
+    /// the faulting cache address back to application state (rolling back
+    /// the `%ecx` spill when the fault landed inside a mangled
+    /// indirect-branch region), evicts repeatedly-faulting fragments, and
+    /// either delivers the fault to the registered guest handler or
+    /// surfaces a terminal `Faulted` outcome. Returns `None` when execution
+    /// can continue (fault delivered).
+    fn handle_guest_fault(
+        &mut self,
+        session: &mut CacheSession,
+        kind: FaultKind,
+        pc: u32,
+        addr: u32,
+    ) -> Option<StepOutcome> {
+        self.core.stats.faults_raised += 1;
+        // Quarantined blocks execute application code directly, so a fault
+        // there (or anywhere below the cache) already has app coordinates.
+        let mut app_pc = (pc < Image::CACHE_BASE).then_some(pc);
+        let mut ecx_spilled = false;
+        let mut evicted: Option<u32> = None;
+        if pc >= Image::CACHE_BASE {
+            if let Some(id) = self.core.threads[self.core.cur].cache.frag_by_addr(pc) {
+                let (tag, translation) = {
+                    let f = self.core.threads[self.core.cur].cache.frag(id);
+                    (f.tag, f.translate(pc))
+                };
+                app_pc = Some(translation.map_or(tag, |t| t.app_pc));
+                ecx_spilled = translation.is_some_and(|t| t.ecx_spilled);
+                let faults = {
+                    let f = self.core.threads[self.core.cur].cache.frag_mut(id);
+                    f.faults += 1;
+                    f.faults
+                };
+                if faults >= FAULT_EVICT_THRESHOLD {
+                    // Self-healing: a fragment that keeps faulting (e.g. a
+                    // corrupted cache copy) is evicted; its block runs by
+                    // emulation once, then is rebuilt fresh.
+                    let tag = self.core.fault_evict(id);
+                    self.client.fragment_deleted(&mut self.core, tag);
+                    evicted = Some(tag);
+                }
+            }
+        }
+        self.client.fault_event(&mut self.core, kind, pc, app_pc);
+        let handler = self.core.os.take_delivery_target();
+        if ecx_spilled && (handler.is_some() || evicted.is_some()) {
+            // Control will not resume inside the mangled region, so roll
+            // back the mangling side effect: between the spill and its
+            // restore, the application's %ecx lives in the thread-local
+            // slot. (On a plain unhandled fault the session may be resumed
+            // at the faulting cache address, which still needs the scratch
+            // %ecx — leave it alone there.)
+            let saved = self.core.machine.mem.read_u32(layout::ECX_SLOT);
+            self.core.machine.cpu.set_reg(Reg::Ecx, saved);
+        }
+        match handler {
+            Some(handler) => {
+                // A delivery detours control through the handler, so any
+                // in-progress trace recording no longer describes a real
+                // crossing sequence; abandon it rather than stitch a trace
+                // whose connectors assume the uninterrupted path.
+                self.core.threads[self.core.cur].recording = None;
+                let target = app_pc.unwrap_or(pc);
+                let resume = resume_pc_after(&self.core.machine, target);
+                deliver_fault(&mut self.core.machine, handler, kind, target, resume);
+                self.core.stats.faults_delivered += 1;
+                // The handler is application code: enter it through
+                // dispatch, exactly like any other control transfer out of
+                // the cache.
+                let cs = self.core.costs.context_switch;
+                self.core.machine.charge(cs);
+                self.core.stats.context_switches += 1;
+                session.pending = Some(Resume::Dispatch(handler));
+                None
+            }
+            None => {
+                if let Some(tag) = evicted {
+                    // The faulting cache copy is gone; a resumed session
+                    // re-enters through dispatch at the faulting app pc
+                    // (quarantine emulation when that is the block's tag)
+                    // instead of the dead cache address.
+                    session.pending = Some(Resume::Dispatch(app_pc.unwrap_or(tag)));
+                }
+                Some(StepOutcome::Faulted(Fault::guest(kind, pc, app_pc, addr)))
+            }
+        }
+    }
+
+    /// Dispatch to `t` failed. Undecodable application code is a guest
+    /// invalid-opcode fault at the target pc and takes the normal delivery
+    /// path; engine-level emit failures are terminal. Either way the
+    /// dispatch is left pending so a resumed session retries (and
+    /// re-reports) cleanly instead of running stale cache code.
+    fn failed_dispatch(
+        &mut self,
+        session: &mut CacheSession,
+        t: u32,
+        fault: Fault,
+    ) -> Option<StepOutcome> {
+        match fault.kind {
+            Some(kind) => {
+                let pc = fault.app_pc.unwrap_or(t);
+                let outcome = self.handle_guest_fault(session, kind, pc, pc);
+                if outcome.is_some() {
+                    session.pending = Some(Resume::Dispatch(t));
+                }
+                outcome
+            }
+            None => {
+                session.pending = Some(Resume::Dispatch(t));
+                Some(StepOutcome::Faulted(fault))
+            }
+        }
+    }
+
+    /// Execute the quarantined block at `tag` by emulation: its cache copy
+    /// repeatedly faulted and was evicted, so the application's own code
+    /// runs instead, restricted to the block's extent. Control leaving the
+    /// block surfaces as `OutOfRegion`, which `handle_leave` converts back
+    /// into an ordinary dispatch (rebuilding a fresh cache copy).
+    fn emulate_quarantined(&mut self, tag: u32) {
+        let (end, instrs) = match decode_bb(
+            &self.core.machine.mem,
+            tag,
+            false,
+            self.core.options.max_bb_instrs,
+        ) {
+            Ok(bb) => (bb.end_pc, bb.num_instrs as u64),
+            // Undecodable app code: a one-byte region makes the machine
+            // raise the invalid-opcode fault at `tag` itself.
+            Err(_) => (tag.wrapping_add(1), 1),
+        };
+        let per_instr = self.core.costs.emulate_per_instr;
+        self.core.machine.charge(per_instr * instrs);
+        self.core.stats.emulated_instrs += instrs;
+        self.core.threads[self.core.cur].quarantine_exec = true;
+        self.core.machine.cpu.eip = tag;
+        self.core
+            .machine
+            .set_exec_regions(vec![ExecRegion::new(tag, end)]);
     }
 
     /// The tid a spawn would get (0 = limit reached, spawn fails).
@@ -587,6 +822,7 @@ impl<C: Client> Rio<C> {
     /// whole cache normally, or just this fragment while recording a trace
     /// (so every crossing is observed).
     fn enter(&mut self, frag: FragmentId) {
+        self.core.threads[self.core.cur].quarantine_exec = false;
         let f = self.core.threads[self.core.cur].cache.frag(frag);
         let region = if self.core.threads[self.core.cur].recording.is_some() {
             let (s, e) = f.range();
@@ -601,10 +837,11 @@ impl<C: Client> Rio<C> {
 
     /// Find or build the fragment to execute for `tag`; handles trace-head
     /// counting and trace-recording kickoff.
-    fn dispatch(&mut self, tag: u32) -> FragmentId {
+    fn dispatch(&mut self, tag: u32) -> Result<FragmentId, Fault> {
         let dispatch_cost = self.core.costs.dispatch;
         self.core.machine.charge(dispatch_cost);
         self.core.stats.dispatches += 1;
+        self.core.last_dispatched = Some(tag);
         for deleted_tag in self.core.take_safe_deletions() {
             self.client.fragment_deleted(&mut self.core, deleted_tag);
         }
@@ -622,18 +859,18 @@ impl<C: Client> Rio<C> {
         // through basic blocks).
         if self.core.threads[self.core.cur].recording.is_none() {
             if let Some(tr) = self.core.threads[self.core.cur].cache.lookup_trace(tag) {
-                return tr;
+                return Ok(tr);
             }
         }
 
         if let Some(bb) = self.core.threads[self.core.cur].cache.lookup_bb(tag) {
             self.count_trace_head(bb, tag);
-            return bb;
+            return Ok(bb);
         }
 
-        let bb = self.build_bb(tag);
+        let bb = self.build_bb(tag)?;
         self.count_trace_head(bb, tag);
-        bb
+        Ok(bb)
     }
 
     fn count_trace_head(&mut self, bb: FragmentId, tag: u32) {
@@ -668,16 +905,27 @@ impl<C: Client> Rio<C> {
         }
     }
 
-    /// Build, mangle, and emit the basic block at `tag`.
-    fn build_bb(&mut self, tag: u32) -> FragmentId {
+    /// Build, mangle, and emit the basic block at `tag`. Undecodable
+    /// application code is reported as a guest invalid-opcode fault at
+    /// `tag` — exactly what native execution of those bytes would raise.
+    fn build_bb(&mut self, tag: u32) -> Result<FragmentId, Fault> {
         let full = self.client.wants_full_decode();
-        let bb = decode_bb(
+        let bb = match decode_bb(
             &self.core.machine.mem,
             tag,
             full,
             self.core.options.max_bb_instrs,
-        )
-        .unwrap_or_else(|e| panic!("invalid application code at {tag:#x}: {e}"));
+        ) {
+            Ok(bb) => bb,
+            Err(e) => {
+                return Err(Fault {
+                    cache_eip: self.core.machine.cpu.eip,
+                    app_pc: Some(tag),
+                    kind: Some(FaultKind::InvalidOpcode),
+                    message: format!("invalid application code at {tag:#x}: {e}"),
+                })
+            }
+        };
         let build_cost = self.core.costs.bb_build_base
             + self.core.costs.bb_build_per_instr * bb.num_instrs as u64;
         self.core.machine.charge(build_cost);
@@ -696,14 +944,19 @@ impl<C: Client> Rio<C> {
             il,
             custom,
         )
-        .unwrap_or_else(|e| panic!("failed to emit block {tag:#x}: {e}"));
+        .map_err(|e| {
+            Fault::engine(
+                self.core.machine.cpu.eip,
+                format!("failed to emit block {tag:#x}: {e}"),
+            )
+        })?;
         if self.core.marked_heads.contains(&tag) {
             self.core.threads[self.core.cur]
                 .cache
                 .frag_mut(id)
                 .is_trace_head = true;
         }
-        id
+        Ok(id)
     }
 
     /// Classify and handle control leaving the permitted execution region.
@@ -715,6 +968,16 @@ impl<C: Client> Rio<C> {
         // Exit stub sentinel.
         if let Some(stub) = layout::stub_index(addr) {
             return Ok(self.handle_stub(stub));
+        }
+        // A quarantined block ran by emulation; control leaving it to any
+        // application address is an ordinary dispatch (which rebuilds a
+        // fresh cache copy — the self-healing step).
+        if self.core.threads[self.core.cur].quarantine_exec && addr < Image::CACHE_BASE {
+            self.core.threads[self.core.cur].quarantine_exec = false;
+            let cs = self.core.costs.context_switch;
+            self.core.machine.charge(cs);
+            self.core.stats.context_switches += 1;
+            return Ok(Leave::Dispatch(addr));
         }
         // During recording, a linked exit jumps straight to another
         // fragment's entry, which lies outside the restricted region.
@@ -735,13 +998,17 @@ impl<C: Client> Rio<C> {
                 return Ok(self.record_crossing(tag, addr));
             }
         }
-        Err(Fault {
-            message: format!(
-                "control reached unclassifiable address {addr:#x} (eip {:#x})",
+        let last = match self.core.last_dispatched {
+            Some(t) => format!(", last dispatched fragment tag {t:#x}"),
+            None => String::new(),
+        };
+        Err(Fault::engine(
+            self.core.machine.cpu.eip,
+            format!(
+                "control reached unclassifiable address {addr:#x} (eip {:#x}{last})",
                 self.core.machine.cpu.eip
             ),
-            eip: self.core.machine.cpu.eip,
-        })
+        ))
     }
 
     fn handle_clean_call(&mut self, token: u32) -> Leave {
@@ -954,13 +1221,17 @@ impl<C: Client> Rio<C> {
         let mut total_instrs = 0usize;
         let n = rec.tags.len();
         for (i, tag) in rec.tags.iter().enumerate() {
-            let bb = decode_bb(
+            // The application code may have been modified (or corrupted)
+            // since the crossing was recorded; abandon the trace rather
+            // than panic — its blocks still execute individually.
+            let Ok(bb) = decode_bb(
                 &self.core.machine.mem,
                 *tag,
                 true,
                 self.core.options.max_bb_instrs,
-            )
-            .expect("recorded block decodes");
+            ) else {
+                return;
+            };
             total_instrs += bb.num_instrs;
             let mut il = bb.il;
             if i + 1 < n {
@@ -996,15 +1267,18 @@ impl<C: Client> Rio<C> {
             .trace(&mut self.core, rec.trace_tag, &mut trace_il);
 
         let custom = std::mem::take(&mut self.core.pending_custom_stubs);
-        let id = emit_fragment(
+        // An emit failure abandons the trace (blocks keep executing); it is
+        // not worth killing the session over an optimization.
+        let Ok(id) = emit_fragment(
             &mut self.core.machine,
             &mut self.core.threads[self.core.cur].cache,
             FragmentKind::Trace,
             rec.trace_tag,
             trace_il,
             custom,
-        )
-        .unwrap_or_else(|e| panic!("failed to emit trace {:#x}: {e}", rec.trace_tag));
+        ) else {
+            return;
+        };
 
         // Exits of traces are trace heads (Dynamo's rule).
         let exit_targets: Vec<u32> = self.core.threads[self.core.cur]

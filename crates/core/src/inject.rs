@@ -1,0 +1,98 @@
+//! Deterministic fault injection for robustness harnesses.
+//!
+//! An [`InjectionPlan`] describes a single fault to provoke — either an
+//! architectural fault raised at a precise instruction count, or a
+//! corruption of an already-emitted fragment's cache copy (exercising the
+//! translation, eviction, and self-healing paths). A [`FaultInjector`]
+//! applies the plan to a stepped [`Rio`] session; because both triggers
+//! key off deterministic state (the machine's instruction counter, the
+//! emission order of fragments), a given plan produces the identical fault
+//! at the identical point on every run, regardless of how the session is
+//! sliced into steps or which worker thread drives it.
+
+use rio_sim::FaultKind;
+
+use crate::client::Client;
+use crate::engine::Rio;
+
+/// What to inject, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionPlan {
+    /// Raise `kind` once, precisely when the machine's cumulative
+    /// instruction count reaches `at`.
+    AtInstruction { at: u64, kind: FaultKind },
+    /// Overwrite the start of the `nth` emitted fragment's body with
+    /// undecodable bytes, so its next execution raises an invalid-opcode
+    /// fault inside the cache (and its second raises eviction).
+    CorruptFragment { nth: usize },
+    /// Once at least `min_frags` fragments exist, overwrite the start of
+    /// every live fragment with undecodable bytes — a mass corruption that
+    /// guarantees whichever fragments re-execute hit the fault-recovery
+    /// machinery, without the harness needing to know the cache layout.
+    CorruptAll { min_frags: usize },
+}
+
+/// Drives an [`InjectionPlan`] over a stepped session. Call
+/// [`FaultInjector::poll`] before each [`Rio::step`]; the plan is applied
+/// exactly once, as soon as its precondition holds (immediately for
+/// instruction-count triggers, once the target fragment exists for
+/// corruption).
+pub struct FaultInjector {
+    plan: InjectionPlan,
+    applied: bool,
+}
+
+impl FaultInjector {
+    /// An injector that will apply `plan` once.
+    pub fn new(plan: InjectionPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            applied: false,
+        }
+    }
+
+    /// Apply the plan if its precondition holds and it has not been applied
+    /// yet. Safe to call at any engine safe point.
+    pub fn poll<C: Client>(&mut self, rio: &mut Rio<C>) {
+        if self.applied {
+            return;
+        }
+        match self.plan {
+            InjectionPlan::AtInstruction { at, kind } => {
+                rio.core.machine.inject_fault_at(at, kind);
+                self.applied = true;
+            }
+            InjectionPlan::CorruptFragment { nth } => {
+                let Some(start) = rio.core.cache().iter().nth(nth).map(|f| f.start) else {
+                    return; // not emitted yet; try again next poll
+                };
+                // 0x0f 0xff is not a valid instruction encoding.
+                rio.core.machine.mem.write_bytes(start, &[0x0f, 0xff]);
+                rio.core.machine.invalidate_code();
+                self.applied = true;
+            }
+            InjectionPlan::CorruptAll { min_frags } => {
+                let starts: Vec<u32> = rio
+                    .core
+                    .cache()
+                    .iter()
+                    .filter(|f| !f.deleted)
+                    .map(|f| f.start)
+                    .collect();
+                if starts.len() < min_frags {
+                    return; // cache not warm enough yet; try again next poll
+                }
+                for start in starts {
+                    rio.core.machine.mem.write_bytes(start, &[0x0f, 0xff]);
+                }
+                rio.core.machine.invalidate_code();
+                self.applied = true;
+            }
+        }
+    }
+
+    /// Whether the plan has been applied.
+    pub fn applied(&self) -> bool {
+        self.applied
+    }
+}

@@ -42,14 +42,17 @@ pub mod config;
 mod core;
 pub mod emit;
 pub mod engine;
+pub mod inject;
 pub mod link;
 pub mod mangle;
 pub mod stats;
 
 pub use crate::core::Core;
-pub use cache::{ExitKind, Fragment, FragmentId, FragmentKind, IndKind};
+pub use cache::{ExitKind, Fragment, FragmentId, FragmentKind, IndKind, Translation};
 pub use client::{Client, EndTraceDecision, NullClient};
 pub use config::{layout, ExecMode, Options, RioCosts};
 pub use engine::{Fault, Rio, RioRunResult, StepBudget, StepOutcome, StopReason};
+pub use inject::{FaultInjector, InjectionPlan};
 pub use mangle::{elide_ret_check, find_ib_checks, IbCheck, Note};
+pub use rio_sim::FaultKind;
 pub use stats::Stats;

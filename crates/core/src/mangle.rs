@@ -39,11 +39,16 @@ pub enum Note {
     },
     /// Final instruction (the `%ecx` restore) of an inlined check.
     IbCheckEnd,
+    /// The `%ecx` spill that begins an indirect-branch translation in a
+    /// basic block: from here to the fragment exit the application's
+    /// `%ecx` lives in the spill slot (fault translation must restore it).
+    Spill,
 }
 
 const MARK_IB_EXIT: u64 = 1;
 const MARK_CHECK_BEGIN: u64 = 2;
 const MARK_CHECK_END: u64 = 3;
+const MARK_SPILL: u64 = 4;
 
 fn kind_code(kind: IndKind) -> u64 {
     match kind {
@@ -77,6 +82,7 @@ impl Note {
                     | expected as u64
             }
             Note::IbCheckEnd => MARK_CHECK_END << 56,
+            Note::Spill => MARK_SPILL << 56,
         }
     }
 
@@ -91,6 +97,7 @@ impl Note {
                 expected: note as u32,
             }),
             MARK_CHECK_END => Some(Note::IbCheckEnd),
+            MARK_SPILL => Some(Note::Spill),
             _ => None,
         }
     }
@@ -216,6 +223,7 @@ pub fn mangle_bb(il: &mut InstrList, fall_through: u32) {
             let pc = il.get(id).app_pc();
             let mut spill = spill_ecx();
             spill.set_app_pc(pc);
+            spill.note = Note::Spill.pack();
             il.replace(id, spill);
             il.push_back(create::pop(Opnd::reg(Reg::Ecx)));
             if extra != 0 {
@@ -232,6 +240,7 @@ pub fn mangle_bb(il: &mut InstrList, fall_through: u32) {
             let pc = il.get(id).app_pc();
             let mut spill = spill_ecx();
             spill.set_app_pc(pc);
+            spill.note = Note::Spill.pack();
             il.replace(id, spill);
             il.push_back(create::mov(Opnd::reg(Reg::Ecx), rm));
             il.push_back(ib_exit_jmp(IndKind::Jmp));
@@ -242,6 +251,7 @@ pub fn mangle_bb(il: &mut InstrList, fall_through: u32) {
             let pc = il.get(id).app_pc();
             let mut spill = spill_ecx();
             spill.set_app_pc(pc);
+            spill.note = Note::Spill.pack();
             il.replace(id, spill);
             il.push_back(create::mov(Opnd::reg(Reg::Ecx), rm));
             il.push_back(create::push(Opnd::Pc(fall_through)));
@@ -509,6 +519,7 @@ mod tests {
                 expected: 0xFFFF_0000,
             },
             Note::IbCheckEnd,
+            Note::Spill,
         ] {
             assert_eq!(Note::parse(n.pack()), Some(n));
         }

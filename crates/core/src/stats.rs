@@ -39,6 +39,12 @@ pub struct Stats {
     pub cache_flushes: u64,
     /// Application threads spawned (beyond the initial thread).
     pub threads_spawned: u64,
+    /// Guest faults raised (handled or not).
+    pub faults_raised: u64,
+    /// Guest faults delivered to a registered handler.
+    pub faults_delivered: u64,
+    /// Fragments evicted for repeated faulting.
+    pub fault_evictions: u64,
 }
 
 impl Stats {
@@ -64,6 +70,9 @@ impl Stats {
         self.trace_heads += other.trace_heads;
         self.cache_flushes += other.cache_flushes;
         self.threads_spawned += other.threads_spawned;
+        self.faults_raised += other.faults_raised;
+        self.faults_delivered += other.faults_delivered;
+        self.fault_evictions += other.fault_evictions;
     }
 
     /// Sum a collection of per-run statistics into one aggregate.
@@ -88,11 +97,16 @@ impl fmt::Display for Stats {
             "dispatches: {}  context switches: {}  links: {} (+{} unlinks)",
             self.dispatches, self.context_switches, self.links, self.unlinks
         )?;
-        write!(
+        writeln!(
             f,
             "ib lookups: {} ({} in-cache hits)  clean calls: {}  replacements: {}  deletions: {}  flushes: {}",
             self.ib_lookups, self.ib_lookup_hits, self.clean_calls, self.replacements,
             self.deletions, self.cache_flushes
+        )?;
+        write!(
+            f,
+            "faults: {} raised, {} delivered, {} fragment evictions",
+            self.faults_raised, self.faults_delivered, self.fault_evictions
         )
     }
 }
@@ -127,11 +141,15 @@ mod tests {
             trace_heads: 15,
             cache_flushes: 16,
             threads_spawned: 17,
+            faults_raised: 18,
+            faults_delivered: 19,
+            fault_evictions: 20,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.bbs_built, 2);
         assert_eq!(b.threads_spawned, 34);
+        assert_eq!(b.fault_evictions, 40);
         assert_eq!(Stats::aggregate([&a, &a, &a]).dispatches, 15);
         assert_eq!(Stats::aggregate([]), Stats::default());
     }

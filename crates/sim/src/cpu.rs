@@ -1,9 +1,8 @@
 //! CPU architectural state, ALU flag semantics, and exit conditions.
 
-use std::error::Error;
 use std::fmt;
 
-use rio_ia32::{Cc, DecodeError, Eflags, OpSize, Reg};
+use rio_ia32::{Cc, Eflags, OpSize, Reg};
 
 /// Architectural register and flags state.
 ///
@@ -99,44 +98,39 @@ fn is_high8(r: Reg) -> bool {
     matches!(r, Reg::Ah | Reg::Ch | Reg::Dh | Reg::Bh)
 }
 
-/// Runtime faults that abort simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CpuError {
-    /// Undecodable bytes reached the instruction pointer.
-    Decode {
-        /// Faulting address.
-        pc: u32,
-        /// The underlying decode error.
-        source: DecodeError,
-    },
-    /// `div`/`idiv` by zero or quotient overflow.
-    DivideError {
-        /// Faulting address.
-        pc: u32,
-    },
-    /// A label pseudo-instruction reached the interpreter (internal error).
-    ExecutedLabel {
-        /// Faulting address.
-        pc: u32,
-    },
+/// The architectural class of a guest fault (the x86 exceptions the subset
+/// can raise). `code()` gives the value pushed to guest fault handlers and
+/// used to derive process exit codes (`128 + code`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `div`/`idiv` by zero or quotient overflow (x86 #DE).
+    DivideError,
+    /// Undecodable bytes — or a pseudo-instruction — reached the
+    /// instruction pointer (x86 #UD).
+    InvalidOpcode,
+    /// A memory access touched a guarded (unmapped) region (x86 #PF-like).
+    MemFault,
 }
 
-impl fmt::Display for CpuError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl FaultKind {
+    /// Numeric fault code delivered to guest handlers (1-based so that code
+    /// 0 never looks like a valid fault).
+    pub fn code(self) -> u32 {
         match self {
-            CpuError::Decode { pc, source } => write!(f, "decode fault at {pc:#x}: {source}"),
-            CpuError::DivideError { pc } => write!(f, "divide error at {pc:#x}"),
-            CpuError::ExecutedLabel { pc } => write!(f, "executed label at {pc:#x}"),
+            FaultKind::DivideError => 1,
+            FaultKind::InvalidOpcode => 2,
+            FaultKind::MemFault => 3,
         }
     }
 }
 
-impl Error for CpuError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CpuError::Decode { source, .. } => Some(source),
-            _ => None,
-        }
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::DivideError => "divide error",
+            FaultKind::InvalidOpcode => "invalid opcode",
+            FaultKind::MemFault => "memory fault",
+        })
     }
 }
 
@@ -155,8 +149,19 @@ pub enum CpuExit {
     OutOfRegion(u32),
     /// The step budget was exhausted.
     FuelExhausted,
-    /// A fault occurred.
-    Error(CpuError),
+    /// A guest fault was raised at a precise boundary: `eip` still points at
+    /// the faulting instruction (`pc`) and no architectural side effect of
+    /// that instruction has been applied, so the machine can be resumed
+    /// (e.g. after delivering the fault to a guest handler).
+    Fault {
+        /// The fault class.
+        kind: FaultKind,
+        /// Address of the faulting instruction.
+        pc: u32,
+        /// Faulting data address for [`FaultKind::MemFault`]; equal to `pc`
+        /// for the other kinds.
+        addr: u32,
+    },
 }
 
 /// Flag-computation results: `(result, new_arith_flags)`.

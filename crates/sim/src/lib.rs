@@ -46,11 +46,14 @@ pub mod mem;
 pub mod os;
 pub mod perf;
 
-pub use cpu::{CpuError, CpuExit, CpuState};
+pub use cpu::{CpuExit, CpuState, FaultKind};
 pub use image::Image;
 pub use machine::{ExecRegion, Machine};
 pub use mem::Memory;
-pub use os::{run_native, Os, RunResult, SYSCALL_VECTOR};
+pub use os::{
+    deliver_fault, resume_pc_after, run_native, run_native_guarded, Os, RunResult,
+    FAULT_DELIVERY_COST, MAX_FAULT_DELIVERIES, SET_FAULT_HANDLER_SYSCALL, SYSCALL_VECTOR,
+};
 pub use perf::{CostModel, Counters, CpuKind};
 
 pub use rio_ia32 as ia32;

@@ -10,7 +10,7 @@
 use rio_ia32::{decode_instr, Instr, MemRef, OpSize, Opcode, Opnd, Reg};
 
 use crate::cpu::{
-    alu_add, alu_logic, alu_sar, alu_shl, alu_shr, alu_sub, CpuError, CpuExit, CpuState,
+    alu_add, alu_logic, alu_sar, alu_shl, alu_shr, alu_sub, CpuExit, CpuState, FaultKind,
 };
 use crate::image::Image;
 use crate::mem::Memory;
@@ -155,6 +155,13 @@ pub struct Machine {
     pub counters: Counters,
     dcache: DecodeCache,
     regions: Vec<ExecRegion>,
+    /// Guarded data regions: any load/store touching one raises
+    /// [`FaultKind::MemFault`] *before* the instruction mutates state.
+    /// Empty by default (the sparse memory otherwise zero-fills).
+    guards: Vec<ExecRegion>,
+    /// One-shot injected fault: raised in place of the next instruction
+    /// once `counters.instructions` reaches the trigger count.
+    inject: Option<(u64, FaultKind)>,
     step_loads: u64,
     step_stores: u64,
 }
@@ -175,6 +182,8 @@ impl Machine {
             counters: Counters::default(),
             dcache: DecodeCache::new(),
             regions: Vec::new(),
+            guards: Vec::new(),
+            inject: None,
             step_loads: 0,
             step_stores: 0,
         }
@@ -199,6 +208,32 @@ impl Machine {
     /// Current execution regions.
     pub fn exec_regions(&self) -> &[ExecRegion] {
         &self.regions
+    }
+
+    /// Install guarded data regions: any memory access touching one raises
+    /// a precise [`FaultKind::MemFault`] before the instruction commits any
+    /// architectural state. The default (empty) set never faults — the
+    /// sparse memory zero-fills unmapped pages.
+    pub fn set_guard_regions(&mut self, guards: Vec<ExecRegion>) {
+        self.guards = guards;
+    }
+
+    /// Current guard regions.
+    pub fn guard_regions(&self) -> &[ExecRegion] {
+        &self.guards
+    }
+
+    /// Arm a one-shot fault injection: once the machine has executed
+    /// `instr_count` instructions, the next instruction raises `kind`
+    /// instead of executing (a precise, resumable boundary). The trigger
+    /// clears when it fires, so the machine can be resumed past it.
+    pub fn inject_fault_at(&mut self, instr_count: u64, kind: FaultKind) {
+        self.inject = Some((instr_count, kind));
+    }
+
+    /// The armed (not yet fired) injection, if any.
+    pub fn pending_injection(&self) -> Option<(u64, FaultKind)> {
+        self.inject
     }
 
     /// Charge runtime-overhead cycles (dispatch, hashtable lookup,
@@ -241,6 +276,12 @@ impl Machine {
     /// execution.
     pub fn step(&mut self) -> Option<CpuExit> {
         let pc = self.cpu.eip;
+        if let Some((at, kind)) = self.inject {
+            if self.counters.instructions >= at {
+                self.inject = None; // one-shot: resuming runs past it
+                return Some(CpuExit::Fault { kind, pc, addr: pc });
+            }
+        }
         let lowered = match self.dcache.get(pc) {
             Some(l) => *l,
             None => {
@@ -252,8 +293,12 @@ impl Machine {
                         self.dcache.put(pc, l);
                         l
                     }
-                    Err(source) => {
-                        return Some(CpuExit::Error(CpuError::Decode { pc, source }));
+                    Err(_) => {
+                        return Some(CpuExit::Fault {
+                            kind: FaultKind::InvalidOpcode,
+                            pc,
+                            addr: pc,
+                        });
                     }
                 }
             }
@@ -266,6 +311,52 @@ impl Machine {
         let index = m.index.map_or(0, |r| self.cpu.reg(r));
         base.wrapping_add(index.wrapping_mul(m.scale as u32))
             .wrapping_add(m.disp as u32)
+    }
+
+    /// First guarded byte of `[addr, addr + bytes)`, if any.
+    fn guarded(&self, addr: u32, bytes: u32) -> Option<u32> {
+        (0..bytes)
+            .map(|i| addr.wrapping_add(i))
+            .find(|a| self.guards.iter().any(|g| g.contains(*a)))
+    }
+
+    /// Check every memory address the instruction will touch against the
+    /// guard regions — *before* execution, so a [`FaultKind::MemFault`] is
+    /// precise (no architectural state has changed).
+    fn check_guards(&self, pc: u32, l: &Lowered) -> Option<CpuExit> {
+        let fault = |addr| {
+            Some(CpuExit::Fault {
+                kind: FaultKind::MemFault,
+                pc,
+                addr,
+            })
+        };
+        // Explicit memory operands (`lea` only computes the address).
+        if l.op != Opcode::Lea {
+            for op in l.srcs.iter().chain(l.dsts.iter()) {
+                if let LOpnd::Mem(m) = op {
+                    if let Some(bad) = self.guarded(self.addr_of(m), m.size.bytes()) {
+                        return fault(bad);
+                    }
+                }
+            }
+        }
+        // Implicit stack accesses.
+        let esp = self.cpu.reg(Reg::Esp);
+        match l.op {
+            Opcode::Push | Opcode::Pushfd | Opcode::Call | Opcode::CallInd => {
+                if let Some(bad) = self.guarded(esp.wrapping_sub(4), 4) {
+                    return fault(bad);
+                }
+            }
+            Opcode::Pop | Opcode::Popfd | Opcode::Ret => {
+                if let Some(bad) = self.guarded(esp, 4) {
+                    return fault(bad);
+                }
+            }
+            _ => {}
+        }
+        None
     }
 
     fn read(&mut self, op: &LOpnd) -> u32 {
@@ -322,6 +413,11 @@ impl Machine {
         use rio_ia32::Eflags;
         self.step_loads = 0;
         self.step_stores = 0;
+        if !self.guards.is_empty() {
+            if let Some(exit) = self.check_guards(pc, l) {
+                return Some(exit);
+            }
+        }
         let next_pc = pc.wrapping_add(l.len);
         let mut new_eip = next_pc;
         let mut branch_penalty = 0u64;
@@ -478,7 +574,11 @@ impl Machine {
                 let dividend =
                     ((self.cpu.reg(Reg::Edx) as u64) << 32) | self.cpu.reg(Reg::Eax) as u64;
                 if divisor == 0 || dividend / divisor > u32::MAX as u64 {
-                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                    return Some(CpuExit::Fault {
+                        kind: FaultKind::DivideError,
+                        pc,
+                        addr: pc,
+                    });
                 }
                 self.cpu.set_reg(Reg::Eax, (dividend / divisor) as u32);
                 self.cpu.set_reg(Reg::Edx, (dividend % divisor) as u32);
@@ -488,11 +588,19 @@ impl Machine {
                 let dividend = (((self.cpu.reg(Reg::Edx) as u64) << 32)
                     | self.cpu.reg(Reg::Eax) as u64) as i64;
                 if divisor == 0 {
-                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                    return Some(CpuExit::Fault {
+                        kind: FaultKind::DivideError,
+                        pc,
+                        addr: pc,
+                    });
                 }
                 let q = dividend.wrapping_div(divisor);
                 if q != (q as i32 as i64) {
-                    return Some(CpuExit::Error(CpuError::DivideError { pc }));
+                    return Some(CpuExit::Fault {
+                        kind: FaultKind::DivideError,
+                        pc,
+                        addr: pc,
+                    });
                 }
                 self.cpu.set_reg(Reg::Eax, q as u32);
                 self.cpu
@@ -659,7 +767,13 @@ impl Machine {
                     .indirect_branch(pc, target, true, &mut self.counters);
             }
             Opcode::Label => {
-                return Some(CpuExit::Error(CpuError::ExecutedLabel { pc }));
+                // A label pseudo-instruction reached the interpreter:
+                // report it as the guest-visible invalid-opcode fault.
+                return Some(CpuExit::Fault {
+                    kind: FaultKind::InvalidOpcode,
+                    pc,
+                    addr: pc,
+                });
             }
         }
 
@@ -815,15 +929,97 @@ mod tests {
     }
 
     #[test]
-    fn divide_error_detected() {
+    fn divide_error_is_precise_and_resumable() {
         let mut il = InstrList::new();
         il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
         il.push_back(create::cdq());
         il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(0)));
         il.push_back(create::idiv(Opnd::reg(Reg::Ebx)));
         il.push_back(create::hlt());
-        let (_, exit) = run_program(&il);
-        assert!(matches!(exit, CpuExit::Error(CpuError::DivideError { .. })));
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        let exit = m.run();
+        let CpuExit::Fault { kind, pc, addr } = exit else {
+            panic!("expected fault, got {exit:?}");
+        };
+        assert_eq!(kind, FaultKind::DivideError);
+        // eip still points at the faulting idiv; nothing was committed.
+        assert_eq!(pc, m.cpu.eip);
+        assert_eq!(addr, pc);
+        assert_eq!(m.cpu.reg(Reg::Eax), 1);
+        assert_eq!(m.counters.instructions, 3);
+        // The machine is resumable: skip the 2-byte idiv and finish.
+        m.cpu.eip = pc + 2;
+        assert_eq!(m.run(), CpuExit::Halt);
+    }
+
+    #[test]
+    fn guard_region_faults_before_any_state_change() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(7)));
+        il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(0x2000_0000, OpSize::S32)),
+            Opnd::reg(Reg::Eax),
+        ));
+        il.push_back(create::hlt());
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        m.set_guard_regions(vec![ExecRegion::new(0x2000_0000, 0x2000_1000)]);
+        let exit = m.run();
+        assert_eq!(
+            exit,
+            CpuExit::Fault {
+                kind: FaultKind::MemFault,
+                pc: m.cpu.eip,
+                addr: 0x2000_0000,
+            }
+        );
+        // The guarded store never happened.
+        assert_eq!(m.mem.read_u32(0x2000_0000), 0);
+        // Without the guard the same program completes.
+        m.set_guard_regions(Vec::new());
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.mem.read_u32(0x2000_0000), 7);
+    }
+
+    #[test]
+    fn injected_fault_fires_once_at_the_trigger_count() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(2)));
+        il.push_back(create::hlt());
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        m.inject_fault_at(1, FaultKind::InvalidOpcode);
+        let exit = m.run();
+        let CpuExit::Fault { kind, pc, .. } = exit else {
+            panic!("expected injected fault, got {exit:?}");
+        };
+        assert_eq!(kind, FaultKind::InvalidOpcode);
+        assert_eq!(m.counters.instructions, 1);
+        assert_eq!(pc, m.cpu.eip);
+        assert_eq!(m.pending_injection(), None);
+        // One-shot: resuming runs to completion.
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Ebx), 2);
+    }
+
+    #[test]
+    fn undecodable_bytes_fault_as_invalid_opcode() {
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(vec![0x0F, 0xFF, 0xFF, 0xFF]));
+        let exit = m.run();
+        assert_eq!(
+            exit,
+            CpuExit::Fault {
+                kind: FaultKind::InvalidOpcode,
+                pc: Image::CODE_BASE,
+                addr: Image::CODE_BASE,
+            }
+        );
     }
 
     #[test]

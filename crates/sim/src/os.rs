@@ -10,6 +10,7 @@
 //! | 10     | `spawn`       | `%ebx` = entry pc → `%eax` = thread id      |
 //! | 11     | `yield`       | cooperative switch to the next thread       |
 //! | 12     | `thread_exit` | ends the calling thread                     |
+//! | 20     | `set_fault_handler` | `%ebx` = handler pc (0 clears) → `%eax` = previous handler |
 //!
 //! Threads are cooperative: a thread runs until it yields or exits. Each
 //! thread gets its own stack carved out below [`Image::STACK_TOP`].
@@ -20,15 +21,29 @@
 
 use rio_ia32::Reg;
 
-use crate::cpu::CpuExit;
+use crate::cpu::{CpuExit, FaultKind};
 use crate::image::Image;
-use crate::machine::Machine;
+use crate::machine::{ExecRegion, Machine};
 
 /// The system-call vector used by workloads.
 pub const SYSCALL_VECTOR: u8 = 0x80;
 
 /// Cycle cost of the (simulated) kernel round trip.
 pub const SYSCALL_COST: u64 = 200;
+
+/// `%eax` selector of the `set_fault_handler` system call.
+pub const SET_FAULT_HANDLER_SYSCALL: u32 = 20;
+
+/// Cycle cost of delivering a fault to a guest handler (kernel entry +
+/// frame push + redirect). Charged identically in native, emulate, and
+/// cache modes so delivery does not perturb differential comparisons.
+pub const FAULT_DELIVERY_COST: u64 = 350;
+
+/// Hard cap on delivered faults per program. A handler that itself faults
+/// (or re-executes a faulting instruction forever) would otherwise loop;
+/// past the cap the fault is treated as unhandled — identically in native
+/// and translated runs.
+pub const MAX_FAULT_DELIVERIES: u32 = 1024;
 
 /// Per-thread stack size (each thread's stack top is
 /// `STACK_TOP - tid * THREAD_STACK_SIZE`).
@@ -58,13 +73,18 @@ pub enum SyscallAction {
     ThreadExit,
 }
 
-/// Simulated OS state: program output and exit status.
+/// Simulated OS state: program output, exit status, and the registered
+/// guest fault handler.
 #[derive(Clone, Debug, Default)]
 pub struct Os {
     /// Bytes written by the program (via `print_int` / `print_chr`).
     pub output: String,
     /// Exit status once the program has called `exit` or halted.
     pub exit_code: Option<i32>,
+    /// Guest fault handler registered via `set_fault_handler` (syscall 20).
+    pub fault_handler: Option<u32>,
+    /// Faults delivered so far (bounded by [`MAX_FAULT_DELIVERIES`]).
+    pub fault_deliveries: u32,
 }
 
 impl Os {
@@ -116,6 +136,15 @@ impl Os {
             }
             11 => SyscallAction::Yield,
             12 => SyscallAction::ThreadExit,
+            SET_FAULT_HANDLER_SYSCALL => {
+                let new = m.cpu.reg(Reg::Ebx);
+                let old = self.fault_handler.take().unwrap_or(0);
+                if new != 0 {
+                    self.fault_handler = Some(new);
+                }
+                m.cpu.set_reg(Reg::Eax, old);
+                SyscallAction::Continue
+            }
             other => {
                 // Unknown call: treat as exit with a distinctive status so
                 // bugs surface in tests.
@@ -124,6 +153,57 @@ impl Os {
             }
         }
     }
+
+    /// Decide whether the next fault can be delivered to a guest handler,
+    /// consuming one delivery slot on success. Both the native runner and
+    /// the RIO engine route their decision through here so degradation
+    /// behavior (the [`MAX_FAULT_DELIVERIES`] cap) is identical.
+    pub fn take_delivery_target(&mut self) -> Option<u32> {
+        let handler = self.fault_handler?;
+        if self.fault_deliveries >= MAX_FAULT_DELIVERIES {
+            return None;
+        }
+        self.fault_deliveries += 1;
+        Some(handler)
+    }
+
+    /// Exit status for an unhandled fault of the given kind
+    /// (`128 + code`, mirroring the fatal-signal shell convention:
+    /// 129 divide error, 130 invalid opcode, 131 memory fault).
+    pub fn fault_exit_code(kind: FaultKind) -> i32 {
+        128 + kind.code() as i32
+    }
+}
+
+/// The pc at which a handler's `ret` resumes execution: the address after
+/// the faulting application instruction (skip-the-instruction semantics),
+/// or the faulting pc itself if it does not decode.
+pub fn resume_pc_after(m: &Machine, app_pc: u32) -> u32 {
+    let mut buf = [0u8; 16];
+    m.mem.read_bytes(app_pc, &mut buf);
+    match rio_ia32::decode_instr(&buf, app_pc) {
+        Ok((_, len)) => app_pc.wrapping_add(len),
+        Err(_) => app_pc,
+    }
+}
+
+/// Deliver a fault to a guest handler: push the fault frame and redirect.
+///
+/// The frame, from deepest to top of stack, is `app_pc`, the fault code
+/// ([`FaultKind::code`]), then `resume_pc` — so after a standard handler
+/// prologue (`push %ebp; mov %ebp, %esp`) the code is at `8(%ebp)` and the
+/// faulting pc at `12(%ebp)`, and the handler's `ret` resumes at
+/// `resume_pc`. All register state other than `%esp`/`%eip` is the faulting
+/// instruction's (transparency: the handler observes original state).
+pub fn deliver_fault(m: &mut Machine, handler: u32, kind: FaultKind, app_pc: u32, resume_pc: u32) {
+    let mut esp = m.cpu.reg(Reg::Esp);
+    for v in [app_pc, kind.code(), resume_pc] {
+        esp = esp.wrapping_sub(4);
+        m.mem.write_u32(esp, v);
+    }
+    m.cpu.set_reg(Reg::Esp, esp);
+    m.cpu.eip = handler;
+    m.charge(FAULT_DELIVERY_COST);
 }
 
 /// Result of running a program to completion.
@@ -140,12 +220,9 @@ pub struct RunResult {
 /// Execute an image natively (no dynamic translator) to completion.
 ///
 /// This is the baseline every normalized-execution-time experiment divides
-/// by.
-///
-/// # Panics
-///
-/// Panics if the program faults or leaves its code region — workload
-/// programs are expected to be well-formed.
+/// by. Guest faults are delivered to the registered handler (syscall 20),
+/// or end the run with exit code `128 + kind` when unhandled — never a
+/// panic.
 ///
 /// # Examples
 ///
@@ -163,11 +240,22 @@ pub struct RunResult {
 /// assert_eq!(r.exit_code, 7);
 /// ```
 pub fn run_native(image: &Image, kind: crate::perf::CpuKind) -> RunResult {
+    run_native_guarded(image, kind, Vec::new())
+}
+
+/// As [`run_native`], with guarded data regions installed before execution
+/// (accesses into them raise [`FaultKind::MemFault`]).
+pub fn run_native_guarded(
+    image: &Image,
+    kind: crate::perf::CpuKind,
+    guards: Vec<ExecRegion>,
+) -> RunResult {
     use crate::cpu::CpuState;
     use rio_ia32::Reg as R;
 
     let mut m = Machine::new(kind);
     m.load_image(image);
+    m.set_guard_regions(guards);
     let mut os = Os::new();
     // Cooperative threads: parked CPU states waiting for their turn.
     let mut parked: std::collections::VecDeque<CpuState> = std::collections::VecDeque::new();
@@ -221,7 +309,23 @@ pub fn run_native(image: &Image, kind: crate::perf::CpuKind) -> RunResult {
                     },
                 }
             }
-            other => panic!("native run failed: {other:?} at eip={:#x}", m.cpu.eip),
+            CpuExit::Fault { kind, pc, addr: _ } => match os.take_delivery_target() {
+                Some(handler) => {
+                    let resume = resume_pc_after(&m, pc);
+                    deliver_fault(&mut m, handler, kind, pc, resume);
+                }
+                None => {
+                    os.exit_code = Some(Os::fault_exit_code(kind));
+                    break 'run;
+                }
+            },
+            other => {
+                // Breakpoint / runaway control flow in a workload program:
+                // finish with a distinctive status instead of panicking.
+                let _ = other;
+                os.exit_code = Some(0x2000);
+                break 'run;
+            }
         }
     }
     RunResult {

@@ -535,6 +535,27 @@ impl Codegen {
                             self.il.push_back(create::int(0x80));
                             return Ok(());
                         }
+                        // sethandler(&f) -> previous handler address (0 if
+                        // none); sethandler(0) clears. The handler is called
+                        // as f(kind, pc) on every fault.
+                        ("sethandler", 1) => {
+                            self.eval(ctx, &args[0])?;
+                            self.il.push_back(create::mov(Opnd::reg(Reg::Ebx), eax()));
+                            self.il.push_back(create::mov(eax(), Opnd::imm32(20)));
+                            self.il.push_back(create::int(0x80));
+                            return Ok(());
+                        }
+                        // peek(addr) -> the 32-bit word at an arbitrary
+                        // address (for provoking memory faults on guarded
+                        // regions).
+                        ("peek", 1) => {
+                            self.eval(ctx, &args[0])?;
+                            self.il.push_back(create::mov(
+                                eax(),
+                                Opnd::Mem(MemRef::base_disp(Reg::Eax, 0, OpSize::S32)),
+                            ));
+                            return Ok(());
+                        }
                         _ => {}
                     }
                 }

@@ -30,6 +30,7 @@
 pub mod ast;
 pub mod codegen;
 pub mod compiler;
+pub mod faulting;
 pub mod lexer;
 pub mod parser;
 pub mod suite;
