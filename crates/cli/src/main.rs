@@ -8,6 +8,7 @@
 //! rio fragments <prog.dyna | bench:NAME> [options]  run, then dump the code cache
 //! rio suite [--client NAME] [--jobs N]         run the whole benchmark suite
 //! rio faults [--cpu p3|p4] [--jobs N]          fault-injection robustness suite
+//! rio smc [--cpu p3|p4] [--jobs N]             self-modifying-code consistency suite
 //! rio bench-list                               list the benchmark suite
 //!
 //! run options:
@@ -19,7 +20,8 @@
 //!   --no-ib-links     disable indirect-branch in-cache lookup
 //!   --no-traces       disable trace building
 //!   --threshold N     trace-head threshold (default 50)
-//!   --cache-limit N   per-sub-cache capacity in bytes
+//!   --cache-limit N   per-sub-cache capacity in bytes (FIFO eviction;
+//!                     also honors the RIO_CACHE_LIMIT env var)
 //!   --max-instructions N  stop after N application instructions (exit 124)
 //!   --timeout-cycles N    stop after N simulated cycles (exit 124)
 //!   --stats           print engine statistics
@@ -44,7 +46,7 @@ use rio_core::{
     Stats, StepBudget, StepOutcome,
 };
 use rio_sim::{run_native, run_native_guarded, CpuKind, Image};
-use rio_workloads::{benchmark, compile, compiled_suite, faulting, suite};
+use rio_workloads::{benchmark, compile, compiled_suite, faulting, smc, suite};
 
 /// Exit code when a `--max-instructions` / `--timeout-cycles` budget runs
 /// out before the program exits (matches the `timeout(1)` convention).
@@ -52,7 +54,7 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 124;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rio <run|native|disasm|fragments|suite|bench-list> [args]  (see --help in source header)"
+        "usage: rio <run|native|disasm|fragments|suite|faults|smc|bench-list> [args]  (see --help in source header)"
     );
     ExitCode::from(2)
 }
@@ -153,7 +155,23 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     if out.spec.is_empty() {
         return Err("missing program (a .dyna file or bench:NAME)".into());
     }
+    // `--cache-limit` wins; otherwise honor the environment.
+    apply_cache_limit_env(&mut out.options)?;
     Ok(out)
+}
+
+/// Fill `Options::cache_limit` from `RIO_CACHE_LIMIT` when no explicit
+/// `--cache-limit` was given.
+fn apply_cache_limit_env(options: &mut Options) -> Result<(), String> {
+    if options.cache_limit.is_none() {
+        if let Ok(v) = std::env::var("RIO_CACHE_LIMIT") {
+            options.cache_limit = Some(
+                v.parse()
+                    .map_err(|e| format!("bad RIO_CACHE_LIMIT `{v}`: {e}"))?,
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Outcome of a budgeted CLI run.
@@ -241,10 +259,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         eprint!("{}", r.client_output);
     }
     eprintln!(
-        "--- {} instrs, {} cycles, {:.3}x native ---",
+        "--- {} instrs, {} cycles, {:.3}x native, {} evictions, {} code writes ---",
         r.counters.instructions,
         r.counters.cycles,
-        r.counters.cycles as f64 / native.counters.cycles as f64
+        r.counters.cycles as f64 / native.counters.cycles as f64,
+        r.stats.evictions,
+        r.stats.code_writes
     );
     if a.stats {
         eprintln!("{}", r.stats);
@@ -353,10 +373,12 @@ fn cmd_suite(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
+    let mut opts = Options::full();
+    apply_cache_limit_env(&mut opts)?;
     let benches = compiled_suite();
     let rows = run_parallel(&benches, njobs, |_, (b, image)| {
         let (native, exit, out) = native_cycles(image, cpu);
-        let r = run_config(image, Options::full(), cpu, client);
+        let r = run_config(image, opts, cpu, client);
         let diverged = (r.exit_code, r.output.as_str()) != (exit, out.as_str());
         (b.name, native, r, diverged)
     });
@@ -681,6 +703,15 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
 /// driven through budgeted (suspendable) sessions. Output is byte-identical
 /// for any `--jobs` value.
 fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
+    let (cpu, njobs) = parse_suite_args(args)?;
+    let rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
+        run_fault_scenario(s, cpu)
+    });
+    print_suite_rows(&rows, "fault")
+}
+
+/// Shared `--cpu p3|p4` / `--jobs N` parsing for the scenario suites.
+fn parse_suite_args(args: &[String]) -> Result<(CpuKind, usize), String> {
     let mut cpu = CpuKind::Pentium4;
     let mut njobs = rio_bench::jobs();
     let mut it = args.iter();
@@ -704,11 +735,14 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    let rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
-        run_fault_scenario(s, cpu)
-    });
+    Ok((cpu, njobs))
+}
+
+/// Print scenario report lines (stable order from `run_parallel`); `Err`
+/// rows count as failures.
+fn print_suite_rows(rows: &[Result<String, String>], what: &str) -> Result<ExitCode, String> {
     let mut failures = 0usize;
-    for row in &rows {
+    for row in rows {
         match row {
             Ok(line) => println!("{line}"),
             Err(line) => {
@@ -718,10 +752,190 @@ fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     if failures > 0 {
-        return Err(format!("{failures} fault scenario(s) failed"));
+        return Err(format!("{failures} {what} scenario(s) failed"));
     }
-    println!("all {} fault scenarios passed", rows.len());
+    println!("all {} {what} scenarios passed", rows.len());
     Ok(ExitCode::SUCCESS)
+}
+
+// ----- self-modifying-code consistency suite ------------------------------
+
+/// One scenario of the `rio smc` matrix: a self-modifying workload crossed
+/// with an execution mode.
+#[derive(Clone, Copy, Debug)]
+struct SmcScenario {
+    workload: SmcWorkload,
+    mode: SmcMode,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SmcWorkload {
+    /// A fragment stores into its *own* source range (forward-progress probe).
+    SelfWrite,
+    /// Repeatedly re-patches a callee, invalidating it 16 times.
+    PatchLoop,
+    /// Writes fresh code, then jumps to it through an indirect call.
+    WriteThenIcall,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SmcMode {
+    /// Pure emulation: consistency comes from the interpreter's own
+    /// decode-cache invalidation; no engine watches are installed.
+    Emulate,
+    /// Code cache with write monitoring and precise invalidation.
+    Cache,
+    /// Code cache bounded to a tiny capacity, forcing FIFO eviction to
+    /// interleave with invalidation on nearly every dispatch.
+    Bounded,
+}
+
+impl SmcScenario {
+    fn name(self) -> String {
+        let w = match self.workload {
+            SmcWorkload::SelfWrite => "self-write",
+            SmcWorkload::PatchLoop => "patch-loop",
+            SmcWorkload::WriteThenIcall => "write-then-icall",
+        };
+        let m = match self.mode {
+            SmcMode::Emulate => "emulate",
+            SmcMode::Cache => "cache",
+            SmcMode::Bounded => "bounded",
+        };
+        format!("{w}-{m}")
+    }
+
+    const ALL: [SmcScenario; 9] = {
+        const W: [SmcWorkload; 3] = [
+            SmcWorkload::SelfWrite,
+            SmcWorkload::PatchLoop,
+            SmcWorkload::WriteThenIcall,
+        ];
+        [
+            SmcScenario {
+                workload: W[0],
+                mode: SmcMode::Emulate,
+            },
+            SmcScenario {
+                workload: W[0],
+                mode: SmcMode::Cache,
+            },
+            SmcScenario {
+                workload: W[0],
+                mode: SmcMode::Bounded,
+            },
+            SmcScenario {
+                workload: W[1],
+                mode: SmcMode::Emulate,
+            },
+            SmcScenario {
+                workload: W[1],
+                mode: SmcMode::Cache,
+            },
+            SmcScenario {
+                workload: W[1],
+                mode: SmcMode::Bounded,
+            },
+            SmcScenario {
+                workload: W[2],
+                mode: SmcMode::Emulate,
+            },
+            SmcScenario {
+                workload: W[2],
+                mode: SmcMode::Cache,
+            },
+            SmcScenario {
+                workload: W[2],
+                mode: SmcMode::Bounded,
+            },
+        ]
+    };
+}
+
+/// Run one SMC scenario; `Ok` is the deterministic report line. Every run
+/// is differential against native execution, driven through budgeted
+/// (suspendable) steps, with decode verification on so any stale copy that
+/// executes is counted.
+fn run_smc_scenario(s: SmcScenario, cpu: CpuKind) -> Result<String, String> {
+    let name = s.name();
+    let fail = |why: String| Err(format!("{name}: {why}"));
+    let src = match s.workload {
+        SmcWorkload::SelfWrite => smc::self_write(),
+        SmcWorkload::PatchLoop => smc::patch_loop(),
+        SmcWorkload::WriteThenIcall => smc::write_then_icall(),
+    };
+    let image = compile(&src).map_err(|e| format!("{name}: {e}"))?;
+    let native = run_native(&image, cpu);
+    let mut opts = match s.mode {
+        SmcMode::Emulate => Options::emulation(),
+        SmcMode::Cache | SmcMode::Bounded => Options::full(),
+    };
+    if matches!(s.mode, SmcMode::Bounded) {
+        opts.cache_limit = Some(64);
+    }
+    let mut rio = Rio::new(&image, opts, cpu, NullClient);
+    rio.core.machine.set_verify_decodes(true);
+    let r = loop {
+        match rio.step(StepBudget::instructions(200)) {
+            StepOutcome::Running(_) => {}
+            StepOutcome::Exited(code) => break rio.result_snapshot(code),
+            StepOutcome::Faulted(f) => return fail(format!("unexpected fault: {}", f.message)),
+        }
+    };
+    if r.exit_code != native.exit_code || r.app_output != native.output {
+        return fail(format!(
+            "diverged from native (exit {} vs {})",
+            r.exit_code, native.exit_code
+        ));
+    }
+    let stale = rio.core.machine.stale_decode_hits();
+    if stale != 0 {
+        return fail(format!("{stale} stale decode(s) executed"));
+    }
+    match s.mode {
+        SmcMode::Emulate => {
+            if r.stats.code_writes != 0 {
+                return fail("code-write watches active under emulation".into());
+            }
+        }
+        SmcMode::Cache | SmcMode::Bounded => {
+            if r.stats.code_writes == 0 {
+                return fail("no code write observed".into());
+            }
+            // Under a tiny bound the written fragment may already be
+            // FIFO-evicted when the store lands, so only the unbounded
+            // cache is guaranteed a precise invalidation.
+            if matches!(s.mode, SmcMode::Cache) && r.stats.invalidations == 0 {
+                return fail("nothing invalidated".into());
+            }
+        }
+    }
+    if matches!(s.mode, SmcMode::Bounded) {
+        if r.stats.evictions == 0 {
+            return fail("tiny cache limit never forced an eviction".into());
+        }
+        if r.stats.cache_flushes != 0 {
+            return fail(format!(
+                "{} whole-sub-cache flushes under capacity pressure",
+                r.stats.cache_flushes
+            ));
+        }
+    }
+    Ok(format!(
+        "ok {name}: output native-identical, {} code writes, {} invalidations, {} evictions, 0 stale decodes",
+        r.stats.code_writes, r.stats.invalidations, r.stats.evictions
+    ))
+}
+
+/// `rio smc`: the self-modifying-code consistency matrix — three SMC
+/// workloads across emulation, unbounded cache, and a tiny bounded cache,
+/// all differential against native and driven through budgeted sessions
+/// with decode verification. Output is byte-identical for any `--jobs`
+/// value.
+fn cmd_smc(args: &[String]) -> Result<ExitCode, String> {
+    let (cpu, njobs) = parse_suite_args(args)?;
+    let rows = run_parallel(&SmcScenario::ALL, njobs, |_, &s| run_smc_scenario(s, cpu));
+    print_suite_rows(&rows, "smc")
 }
 
 fn cmd_bench_list() -> ExitCode {
@@ -753,6 +967,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(rest),
         "suite" => cmd_suite(rest),
         "faults" => cmd_faults(rest),
+        "smc" => cmd_smc(rest),
         "bench-list" => Ok(cmd_bench_list()),
         _ => return usage(),
     };

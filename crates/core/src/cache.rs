@@ -132,6 +132,11 @@ pub struct Fragment {
     /// Guest faults raised while executing this fragment (drives the
     /// self-healing eviction of repeatedly-faulting fragments).
     pub faults: u32,
+    /// Application `[start, end)` spans of every constituent block — one
+    /// for a basic block, one per stitched block for a trace. A guest
+    /// write overlapping any span makes this fragment stale (its cache
+    /// copy was translated from bytes that no longer exist).
+    pub src_ranges: Vec<(u32, u32)>,
 }
 
 impl Fragment {
@@ -143,6 +148,12 @@ impl Fragment {
     /// Whether a cache address falls within this fragment.
     pub fn contains(&self, addr: u32) -> bool {
         addr >= self.start && addr < self.start + self.total_len
+    }
+
+    /// Whether any of this fragment's source-code spans overlaps the
+    /// application range `[lo, hi)`.
+    pub fn overlaps_src(&self, lo: u32, hi: u32) -> bool {
+        self.src_ranges.iter().any(|&(s, e)| s < hi && e > lo)
     }
 
     /// Translate a cache address inside this fragment back to application
@@ -196,6 +207,11 @@ pub struct CodeCache {
     bb_next: u32,
     trace_next: u32,
     stub_offset: u32,
+    /// Bytes occupied by *live* fragments per sub-cache — unlike the bump
+    /// allocator's high-water mark, this shrinks when fragments are
+    /// deleted, so capacity policies can count what is actually resident.
+    bb_live: u32,
+    trace_live: u32,
 }
 
 /// Address-space slice per thread-private cache (16 MiB bb + 16 MiB trace).
@@ -266,6 +282,42 @@ impl CodeCache {
         }
     }
 
+    /// Bytes occupied by live (non-deleted) fragments of `kind` — the
+    /// quantity capacity policies bound. Maintained by
+    /// [`CodeCache::insert`] and [`CodeCache::mark_deleted`].
+    pub fn live_bytes(&self, kind: FragmentKind) -> u32 {
+        match kind {
+            FragmentKind::BasicBlock => self.bb_live,
+            FragmentKind::Trace => self.trace_live,
+        }
+    }
+
+    /// Tombstone a fragment, updating the live-byte accounting exactly
+    /// once however many times it is called. All deletion paths (safe
+    /// deletions, capacity eviction, flushes, fault eviction, precise
+    /// invalidation) must go through here rather than setting
+    /// [`Fragment::deleted`] directly.
+    pub fn mark_deleted(&mut self, id: FragmentId) {
+        let f = &mut self.frags[id.0 as usize];
+        if f.deleted {
+            return;
+        }
+        f.deleted = true;
+        match f.kind {
+            FragmentKind::BasicBlock => self.bb_live -= f.total_len,
+            FragmentKind::Trace => self.trace_live -= f.total_len,
+        }
+    }
+
+    /// The oldest (lowest-id, i.e. first-emitted) live fragment of `kind`
+    /// whose id is at least `from` — the FIFO eviction candidate.
+    pub fn oldest_live(&self, kind: FragmentKind, from: FragmentId) -> Option<FragmentId> {
+        self.frags[from.0 as usize..]
+            .iter()
+            .find(|f| f.kind == kind && !f.deleted)
+            .map(|f| f.id)
+    }
+
     /// Flush a sub-cache: remove every live fragment of `kind` from the
     /// lookup tables and reset its allocator. Returns the flushed fragment
     /// ids (callers must unlink them and fire `fragment_deleted` hooks).
@@ -295,8 +347,14 @@ impl CodeCache {
         let id = FragmentId(self.frags.len() as u32);
         frag.id = id;
         match frag.kind {
-            FragmentKind::BasicBlock => self.bb_by_tag.insert(frag.tag, id),
-            FragmentKind::Trace => self.trace_by_tag.insert(frag.tag, id),
+            FragmentKind::BasicBlock => {
+                self.bb_by_tag.insert(frag.tag, id);
+                self.bb_live += frag.total_len;
+            }
+            FragmentKind::Trace => {
+                self.trace_by_tag.insert(frag.tag, id);
+                self.trace_live += frag.total_len;
+            }
         };
         self.entry_by_addr.insert(frag.start, id);
         self.frags.push(frag);
@@ -435,6 +493,7 @@ mod tests {
             deleted: false,
             translations: Vec::new(),
             faults: 0,
+            src_ranges: Vec::new(),
         }
     }
 
@@ -542,6 +601,64 @@ mod tests {
         // Deleted fragments still resolve (bytes resident) unless a live
         // fragment covers the same address.
         assert_eq!(c.frag_by_addr(s1 + 5), Some(a));
+    }
+
+    #[test]
+    fn live_bytes_shrink_on_deletion_exactly_once() {
+        let mut c = CodeCache::new();
+        let s1 = c.alloc(FragmentKind::BasicBlock, 20);
+        let a = c.insert(dummy_frag(0x1000, FragmentKind::BasicBlock, s1));
+        let s2 = c.alloc(FragmentKind::BasicBlock, 20);
+        let b = c.insert(dummy_frag(0x2000, FragmentKind::BasicBlock, s2));
+        assert_eq!(c.live_bytes(FragmentKind::BasicBlock), 40);
+        // The bump allocator's high-water mark never shrinks...
+        assert!(c.used(FragmentKind::BasicBlock) >= 40);
+        c.mark_deleted(a);
+        assert_eq!(c.live_bytes(FragmentKind::BasicBlock), 20);
+        // ...and double-deletion must not double-count.
+        c.mark_deleted(a);
+        assert_eq!(c.live_bytes(FragmentKind::BasicBlock), 20);
+        assert!(c.used(FragmentKind::BasicBlock) >= 40);
+        c.mark_deleted(b);
+        assert_eq!(c.live_bytes(FragmentKind::BasicBlock), 0);
+    }
+
+    #[test]
+    fn oldest_live_walks_in_fifo_order() {
+        let mut c = CodeCache::new();
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let s = c.alloc(FragmentKind::BasicBlock, 16);
+            ids.push(c.insert(dummy_frag(0x1000 + i * 0x100, FragmentKind::BasicBlock, s)));
+        }
+        assert_eq!(
+            c.oldest_live(FragmentKind::BasicBlock, FragmentId(0)),
+            Some(ids[0])
+        );
+        c.mark_deleted(ids[0]);
+        assert_eq!(
+            c.oldest_live(FragmentKind::BasicBlock, FragmentId(0)),
+            Some(ids[1])
+        );
+        // Resuming from a cursor skips earlier ids without rescanning.
+        assert_eq!(
+            c.oldest_live(FragmentKind::BasicBlock, ids[2]),
+            Some(ids[2])
+        );
+        c.mark_deleted(ids[1]);
+        c.mark_deleted(ids[2]);
+        assert_eq!(c.oldest_live(FragmentKind::BasicBlock, FragmentId(0)), None);
+    }
+
+    #[test]
+    fn src_range_overlap_detects_any_constituent_block() {
+        let mut f = dummy_frag(0x5000, FragmentKind::Trace, 0x100);
+        f.src_ranges = vec![(0x5000, 0x5010), (0x7000, 0x7008)];
+        assert!(f.overlaps_src(0x5008, 0x500C));
+        assert!(!f.overlaps_src(0x700F, 0x7010));
+        assert!(f.overlaps_src(0x7004, 0x7005));
+        assert!(!f.overlaps_src(0x5010, 0x7000)); // gap between blocks
+        assert!(!f.overlaps_src(0x4FFF, 0x5000)); // half-open boundaries
     }
 
     #[test]

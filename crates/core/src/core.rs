@@ -376,7 +376,10 @@ impl Core {
         let Some(old) = self.threads[self.cur].cache.lookup(tag) else {
             return false;
         };
-        let kind = self.threads[self.cur].cache.frag(old).kind;
+        let (kind, src_ranges) = {
+            let f = self.threads[self.cur].cache.frag(old);
+            (f.kind, f.src_ranges.clone())
+        };
         self.charge(self.costs.replace_fragment);
         let custom = std::mem::take(&mut self.pending_custom_stubs);
         let Ok(new) = emit_fragment(
@@ -386,6 +389,7 @@ impl Core {
             tag,
             il,
             custom,
+            src_ranges,
         ) else {
             return false;
         };
@@ -422,11 +426,16 @@ impl Core {
         let eip = self.machine.cpu.eip;
         let mut still_pending = Vec::new();
         for id in std::mem::take(&mut self.pending_deletions) {
+            if self.threads[self.cur].cache.frag(id).deleted {
+                // Already tombstoned by eviction or invalidation; the hook
+                // fired there, so just drop the pending entry.
+                continue;
+            }
             let inside = self.threads[self.cur].cache.frag(id).contains(eip);
             if inside {
                 still_pending.push(id);
             } else {
-                self.threads[self.cur].cache.frag_mut(id).deleted = true;
+                self.threads[self.cur].cache.mark_deleted(id);
                 self.stats.deletions += 1;
                 tags.push(self.threads[self.cur].cache.frag(id).tag);
             }
@@ -468,35 +477,37 @@ impl Core {
 
     // ----- cache capacity management ----------------------------------------
 
-    /// If a sub-cache exceeds [`Options::cache_limit`], flush it: unlink
-    /// everything, drop it from the lookup tables, and reset the allocator.
-    /// Called at dispatch (a safe point — control is out of the cache).
-    /// Returns the tags of flushed fragments for `fragment_deleted` hooks.
+    /// If a sub-cache's live bytes exceed [`Options::cache_limit`], evict
+    /// fragments one at a time in FIFO order (oldest `FragmentId` first —
+    /// insertion order) until back under the limit (paper §6: per-fragment
+    /// deletion "from the head of the FIFO" beats flushing the whole
+    /// cache). Called at dispatch (a safe point — control is out of the
+    /// cache), but a fragment that `eip` is suspended inside (a session
+    /// stopped mid-[`Rio::step`](crate::Rio::step)) is skipped and becomes
+    /// the first candidate at a later dispatch. Returns the tags of evicted
+    /// fragments for `fragment_deleted` hooks.
     pub(crate) fn process_cache_pressure(&mut self) -> Vec<u32> {
         let Some(limit) = self.options.cache_limit else {
             return Vec::new();
         };
         let mut tags = Vec::new();
+        let eip = self.machine.cpu.eip;
         for kind in [FragmentKind::BasicBlock, FragmentKind::Trace] {
-            if self.threads[self.cur].cache.used(kind) <= limit {
-                continue;
-            }
-            self.stats.cache_flushes += 1;
-            let flushed = self.threads[self.cur].cache.flush(kind);
-            for id in &flushed {
-                // Detach survivors pointing in, and this fragment's own
-                // outgoing links.
-                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, *id);
-                crate::link::unlink_outgoing(
-                    &mut self.machine,
-                    &mut self.threads[self.cur].cache,
-                    *id,
-                );
-            }
-            for id in flushed {
-                let f = self.threads[self.cur].cache.frag_mut(id);
-                f.deleted = true;
-                tags.push(f.tag);
+            let mut cursor = FragmentId(0);
+            while self.threads[self.cur].cache.live_bytes(kind) > limit {
+                let Some(id) = self.threads[self.cur].cache.oldest_live(kind, cursor) else {
+                    break;
+                };
+                cursor = FragmentId(id.0 + 1);
+                if self.threads[self.cur].cache.frag(id).contains(eip) {
+                    continue;
+                }
+                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
+                unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
+                self.threads[self.cur].cache.remove_from_maps(id);
+                self.threads[self.cur].cache.mark_deleted(id);
+                tags.push(self.threads[self.cur].cache.frag(id).tag);
+                self.stats.evictions += 1;
                 self.stats.deletions += 1;
             }
         }
@@ -536,9 +547,43 @@ impl Core {
                 );
             }
             for id in flushed {
-                let f = self.threads[self.cur].cache.frag_mut(id);
-                f.deleted = true;
-                tags.push(f.tag);
+                self.threads[self.cur].cache.mark_deleted(id);
+                tags.push(self.threads[self.cur].cache.frag(id).tag);
+                self.stats.deletions += 1;
+            }
+        }
+        tags
+    }
+
+    // ----- cache consistency (paper §6) -------------------------------------
+
+    /// Precisely invalidate every fragment whose source ranges overlap the
+    /// written span `[addr, addr + len)` — the response to a
+    /// `CpuExit::CodeWrite`. Overlapping fragments in *every* thread's
+    /// cache (the writer may invalidate another thread's copy) are unlinked
+    /// in both directions, dropped from the lookup tables, and tombstoned;
+    /// their bytes stay resident, so this is safe even while `eip` is
+    /// still inside the writing fragment. The next dispatch of an
+    /// invalidated tag rebuilds from the freshly written application bytes.
+    /// Returns the invalidated tags for `fragment_deleted` hooks.
+    pub(crate) fn invalidate_code_write(&mut self, addr: u32, len: u32) -> Vec<u32> {
+        let lo = addr;
+        let hi = addr.saturating_add(len);
+        let mut tags = Vec::new();
+        for t in 0..self.threads.len() {
+            let ids: Vec<FragmentId> = self.threads[t]
+                .cache
+                .iter()
+                .filter(|f| !f.deleted && f.overlaps_src(lo, hi))
+                .map(|f| f.id)
+                .collect();
+            for id in ids {
+                unlink_incoming(&mut self.machine, &mut self.threads[t].cache, id);
+                unlink_outgoing(&mut self.machine, &mut self.threads[t].cache, id);
+                self.threads[t].cache.remove_from_maps(id);
+                self.threads[t].cache.mark_deleted(id);
+                tags.push(self.threads[t].cache.frag(id).tag);
+                self.stats.invalidations += 1;
                 self.stats.deletions += 1;
             }
         }
@@ -561,7 +606,7 @@ impl Core {
         unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
         unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
         self.threads[self.cur].cache.remove_from_maps(id);
-        self.threads[self.cur].cache.frag_mut(id).deleted = true;
+        self.threads[self.cur].cache.mark_deleted(id);
         self.threads[self.cur].fault_quarantine.insert(tag);
         self.stats.deletions += 1;
         self.stats.fault_evictions += 1;

@@ -83,7 +83,10 @@ fn exit_kind_of(instr: &Instr) -> Option<ExitKind> {
 /// Emit `il` as a fragment of the given kind for `tag`. Consumes the list.
 ///
 /// `custom_stubs` carries any client-requested exit-stub additions (matched
-/// by exit instruction id).
+/// by exit instruction id). `src_ranges` lists the application `[start,
+/// end)` span of every constituent block (one for a basic block, one per
+/// stitched block for a trace) — the index precise invalidation consults
+/// when a guest write lands in application code.
 ///
 /// # Errors
 ///
@@ -95,6 +98,7 @@ pub fn emit_fragment(
     tag: u32,
     mut il: InstrList,
     mut custom_stubs: Vec<CustomStub>,
+    src_ranges: Vec<(u32, u32)>,
 ) -> Result<FragmentId, EmitError> {
     // Pre-pass: a jecxz exit cannot encode a rel32 target; reroute it
     // through a nearby trampoline jmp placed in the stub area.
@@ -193,7 +197,9 @@ pub fn emit_fragment(
     let encoded = encode_list(&il, start)?;
     debug_assert_eq!(encoded.bytes.len() as u32, total_len);
     machine.mem.write_bytes(start, &encoded.bytes);
-    machine.invalidate_code();
+    // Only the decodes overlapping the freshly written bytes can be stale;
+    // emitting a fragment no longer wipes unrelated decodes.
+    machine.invalidate_code_range(start, total_len);
 
     // Instruction lengths from consecutive offsets.
     let offset_of = |id: InstrId| encoded.offset_of(id).expect("instr was encoded");
@@ -294,6 +300,7 @@ pub fn emit_fragment(
         deleted: false,
         translations,
         faults: 0,
+        src_ranges,
     });
     debug_assert_eq!(id, frag_id);
     Ok(id)
@@ -333,6 +340,7 @@ mod tests {
             tag,
             il,
             Vec::new(),
+            vec![(tag, end)],
         )
         .unwrap();
         (m, cache, id)
@@ -445,6 +453,7 @@ mod tests {
                 instrs: stub_il,
                 force_stub: true,
             }],
+            vec![(0x1000, 0x1005)],
         )
         .unwrap();
         let f = cache.frag(id);

@@ -412,10 +412,21 @@ impl<C: Client> Rio<C> {
                         .set_exec_regions(vec![ExecRegion::new(s, e)]);
                     Phase::Emulating
                 }
-                ExecMode::Cache => Phase::InCache(CacheSession {
-                    parked: VecDeque::new(),
-                    pending: Some(Resume::Dispatch(self.core.app_entry)),
-                }),
+                ExecMode::Cache => {
+                    // Monitor the application code region for stores so
+                    // self-modifying code surfaces as `CpuExit::CodeWrite`
+                    // (paper §6: cache consistency). The engine's own
+                    // writes (fragment emission, link patching) go through
+                    // the memory API directly and are exempt.
+                    let (s, e) = self.core.app_code_range;
+                    self.core
+                        .machine
+                        .set_watch_regions(vec![ExecRegion::new(s, e)]);
+                    Phase::InCache(CacheSession {
+                        parked: VecDeque::new(),
+                        pending: Some(Resume::Dispatch(self.core.app_entry)),
+                    })
+                }
             };
         }
         let meter = BudgetMeter::start(budget, &self.core.machine.counters);
@@ -514,6 +525,12 @@ impl<C: Client> Rio<C> {
                         }
                     }
                 }
+                CpuExit::CodeWrite { .. } => {
+                    // Watches are only installed in cache mode; if one is
+                    // somehow active, the store has committed and the
+                    // interpreter's decode cache already invalidated
+                    // itself, so emulation just continues.
+                }
                 other => {
                     let eip = self.core.machine.cpu.eip;
                     return StepOutcome::Faulted(Fault::engine(
@@ -608,6 +625,9 @@ impl<C: Client> Rio<C> {
                     if let Some(outcome) = self.handle_guest_fault(session, kind, pc, addr) {
                         return outcome;
                     }
+                }
+                CpuExit::CodeWrite { pc, addr, len } => {
+                    self.handle_code_write(session, pc, addr, len);
                 }
                 other => {
                     let eip = self.core.machine.cpu.eip;
@@ -708,6 +728,62 @@ impl<C: Client> Rio<C> {
                 Some(StepOutcome::Faulted(Fault::guest(kind, pc, app_pc, addr)))
             }
         }
+    }
+
+    /// A guest store landed in the monitored application code region while
+    /// executing under the engine (paper §6: cache consistency). The store
+    /// has *committed* and `eip` is already past the writing instruction,
+    /// so resuming makes forward progress even when an instruction
+    /// overwrites itself (no livelock). Body instructions are copied into
+    /// the cache verbatim, so the application resume point is the writer's
+    /// translated pc plus the same advance `eip` made in the cache.
+    /// Invalidates exactly the fragments whose source ranges the write
+    /// overlapped, then re-enters through dispatch — rebuilding from the
+    /// freshly written bytes.
+    fn handle_code_write(&mut self, session: &mut CacheSession, pc: u32, addr: u32, len: u32) {
+        self.core.stats.code_writes += 1;
+        let eip = self.core.machine.cpu.eip;
+        let resume = if pc < Image::CACHE_BASE {
+            // Quarantined emulation runs application code directly; the
+            // committed `eip` already is the application resume point.
+            eip
+        } else {
+            let translation = self.core.threads[self.core.cur]
+                .cache
+                .frag_by_addr(pc)
+                .and_then(|id| {
+                    self.core.threads[self.core.cur]
+                        .cache
+                        .frag(id)
+                        .translate(pc)
+                });
+            match translation {
+                Some(t) => {
+                    if t.ecx_spilled {
+                        // Control will not resume inside the mangled
+                        // region, so roll back the spill (the app's %ecx
+                        // lives in the thread-local slot there).
+                        let saved = self.core.machine.mem.read_u32(layout::ECX_SLOT);
+                        self.core.machine.cpu.set_reg(Reg::Ecx, saved);
+                    }
+                    t.app_pc.wrapping_add(eip.wrapping_sub(pc))
+                }
+                // Untranslatable store site (a store synthesized by
+                // mangling — not application code): re-enter at the last
+                // dispatched tag rather than running a stale fragment.
+                None => self.core.last_dispatched.unwrap_or(self.core.app_entry),
+            }
+        };
+        // A recording in progress may include a block the write just
+        // invalidated; abandon it rather than stitch stale code.
+        self.core.threads[self.core.cur].recording = None;
+        for tag in self.core.invalidate_code_write(addr, len) {
+            self.client.fragment_deleted(&mut self.core, tag);
+        }
+        let cs = self.core.costs.context_switch;
+        self.core.machine.charge(cs);
+        self.core.stats.context_switches += 1;
+        session.pending = Some(Resume::Dispatch(resume));
     }
 
     /// Dispatch to `t` failed. Undecodable application code is a guest
@@ -943,6 +1019,7 @@ impl<C: Client> Rio<C> {
             tag,
             il,
             custom,
+            vec![(tag, bb.end_pc)],
         )
         .map_err(|e| {
             Fault::engine(
@@ -1219,6 +1296,7 @@ impl<C: Client> Rio<C> {
             .expect("recording active");
         let mut trace_il = InstrList::new();
         let mut total_instrs = 0usize;
+        let mut src_ranges: Vec<(u32, u32)> = Vec::new();
         let n = rec.tags.len();
         for (i, tag) in rec.tags.iter().enumerate() {
             // The application code may have been modified (or corrupted)
@@ -1233,6 +1311,7 @@ impl<C: Client> Rio<C> {
                 return;
             };
             total_instrs += bb.num_instrs;
+            src_ranges.push((*tag, bb.end_pc));
             let mut il = bb.il;
             if i + 1 < n {
                 mangle_trace_connector(
@@ -1276,6 +1355,7 @@ impl<C: Client> Rio<C> {
             rec.trace_tag,
             trace_il,
             custom,
+            src_ranges,
         ) else {
             return;
         };

@@ -15,7 +15,9 @@ use crate::cache::{CodeCache, ExitKind, FragmentId};
 fn patch_disp(machine: &mut Machine, disp_addr: u32, target: u32) {
     let disp = target.wrapping_sub(disp_addr.wrapping_add(4));
     machine.mem.write_u32(disp_addr, disp);
-    machine.invalidate_code();
+    // Only the decode holding this displacement word can be stale; the
+    // hot link/unlink path must not wipe unrelated decodes.
+    machine.invalidate_code_range(disp_addr, 4);
 }
 
 /// Link `src`'s exit `exit_idx` to fragment `dst`.
@@ -134,6 +136,7 @@ mod tests {
             0x1000,
             a,
             vec![],
+            vec![(0x1000, 0x1005)],
         )
         .unwrap();
         // B at 0x2000: mov eax, 9; hlt
@@ -146,6 +149,7 @@ mod tests {
             0x2000,
             b,
             vec![],
+            vec![(0x2000, 0x2006)],
         )
         .unwrap();
         m.set_exec_regions(vec![ExecRegion::new(Image::CACHE_BASE, Image::CACHE_END)]);
@@ -200,6 +204,7 @@ mod tests {
             0x2000,
             b2,
             vec![],
+            vec![(0x2000, 0x2006)],
         )
         .unwrap();
         redirect_incoming(&mut m, &mut cache, fb, fb2);

@@ -45,6 +45,15 @@ pub struct Stats {
     pub faults_delivered: u64,
     /// Fragments evicted for repeated faulting.
     pub fault_evictions: u64,
+    /// Guest stores that landed in monitored code regions (self-modifying
+    /// code events).
+    pub code_writes: u64,
+    /// Fragments precisely invalidated because a code write overlapped
+    /// their source ranges.
+    pub invalidations: u64,
+    /// Fragments evicted FIFO by capacity pressure (distinct from
+    /// `cache_flushes`, which counts whole-sub-cache flushes).
+    pub evictions: u64,
 }
 
 impl Stats {
@@ -73,6 +82,9 @@ impl Stats {
         self.faults_raised += other.faults_raised;
         self.faults_delivered += other.faults_delivered;
         self.fault_evictions += other.fault_evictions;
+        self.code_writes += other.code_writes;
+        self.invalidations += other.invalidations;
+        self.evictions += other.evictions;
     }
 
     /// Sum a collection of per-run statistics into one aggregate.
@@ -99,14 +111,19 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "ib lookups: {} ({} in-cache hits)  clean calls: {}  replacements: {}  deletions: {}  flushes: {}",
+            "ib lookups: {} ({} in-cache hits)  clean calls: {}  replacements: {}  deletions: {}  flushes: {}  evictions: {}",
             self.ib_lookups, self.ib_lookup_hits, self.clean_calls, self.replacements,
-            self.deletions, self.cache_flushes
+            self.deletions, self.cache_flushes, self.evictions
         )?;
-        write!(
+        writeln!(
             f,
             "faults: {} raised, {} delivered, {} fragment evictions",
             self.faults_raised, self.faults_delivered, self.fault_evictions
+        )?;
+        write!(
+            f,
+            "code writes: {}  precise invalidations: {}",
+            self.code_writes, self.invalidations
         )
     }
 }
@@ -144,12 +161,18 @@ mod tests {
             faults_raised: 18,
             faults_delivered: 19,
             fault_evictions: 20,
+            code_writes: 21,
+            invalidations: 22,
+            evictions: 23,
         };
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.bbs_built, 2);
         assert_eq!(b.threads_spawned, 34);
         assert_eq!(b.fault_evictions, 40);
+        assert_eq!(b.code_writes, 42);
+        assert_eq!(b.invalidations, 44);
+        assert_eq!(b.evictions, 46);
         assert_eq!(Stats::aggregate([&a, &a, &a]).dispatches, 15);
         assert_eq!(Stats::aggregate([]), Stats::default());
     }

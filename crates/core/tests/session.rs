@@ -284,18 +284,52 @@ fn flush_at_safe_point_mid_session() {
 }
 
 #[test]
-fn flush_under_capacity_pressure_while_stepping() {
-    // Tiny cache limit: capacity flushes happen during the run; stepping
+fn eviction_under_capacity_pressure_while_stepping() {
+    // Tiny cache limit: FIFO evictions happen during the run; stepping
     // must not change the outcome.
     let image = loop_program(1_000);
     let mut opts = Options::full();
-    opts.cache_limit = Some(2048);
+    opts.cache_limit = Some(32);
     let mut reference = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
     let expected = reference.run();
+    assert!(expected.stats.evictions > 0);
+    assert_eq!(expected.stats.cache_flushes, 0);
 
     let mut rio = Rio::new(&image, opts, CpuKind::Pentium4, NullClient);
     let (stepped, _) = run_in_steps(&mut rio, StepBudget::instructions(64));
     assert_eq!(stepped.exit_code, expected.exit_code);
     assert_eq!(stepped.counters, expected.counters);
     assert_eq!(stepped.stats, expected.stats);
+}
+
+#[test]
+fn pressure_fired_while_suspended_mid_step_evicts_safely() {
+    // Suspend the session mid-cache-execution (eip inside a fragment), then
+    // impose an impossible cache limit at the suspension point. The next
+    // dispatch must evict every fragment *except* one execution might still
+    // be inside — deferring it to a later dispatch — and the run must
+    // finish with the same result as an unbounded one.
+    let image = loop_program(2_000);
+    let expected = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient).run();
+
+    let mut rio = Rio::new(&image, Options::full(), CpuKind::Pentium4, NullClient);
+    assert!(matches!(
+        rio.step(StepBudget::instructions(150)),
+        StepOutcome::Running(_)
+    ));
+    let live_before = rio.core.cache().iter().filter(|f| !f.deleted).count();
+    assert!(live_before > 0, "no fragments built before the limit drop");
+    rio.core.options.cache_limit = Some(0);
+    let code = loop {
+        match rio.step(StepBudget::instructions(500)) {
+            StepOutcome::Running(_) => {}
+            StepOutcome::Exited(code) => break code,
+            StepOutcome::Faulted(f) => panic!("fault under pressure: {}", f.message),
+        }
+    };
+    assert_eq!(code, expected.exit_code);
+    assert!(rio.core.stats.evictions as usize >= live_before);
+    assert_eq!(rio.core.stats.cache_flushes, 0);
+    // Every dispatch rebuilt its block after the limit dropped to zero.
+    assert!(rio.core.stats.bbs_built > expected.stats.bbs_built);
 }

@@ -162,6 +162,19 @@ pub enum CpuExit {
         /// for the other kinds.
         addr: u32,
     },
+    /// A guest store landed inside a watched code region
+    /// ([`Machine::set_watch_regions`](crate::Machine::set_watch_regions)).
+    /// Unlike [`CpuExit::Fault`], the store *has committed* and `eip`
+    /// already points past the writing instruction, so resuming makes
+    /// forward progress even when an instruction overwrites itself.
+    CodeWrite {
+        /// Address of the writing instruction.
+        pc: u32,
+        /// Start address of the store that touched a watched region.
+        addr: u32,
+        /// Length in bytes of the store.
+        len: u32,
+    },
 }
 
 /// Flag-computation results: `(result, new_arith_flags)`.

@@ -96,10 +96,17 @@ fn lower(instr: &Instr, len: u32) -> Lowered {
 
 const DCACHE_BITS: usize = 15;
 const DCACHE_SIZE: usize = 1 << DCACHE_BITS;
+/// Longest instruction fetch: a decode at `pc` can consume bytes up to
+/// `pc + MAX_INSTR_BYTES - 1`, so a write at `addr` can stale any decode
+/// starting as far back as `addr - MAX_INSTR_BYTES + 1`.
+const MAX_INSTR_BYTES: u32 = 16;
 
 struct DecodeCacheEntry {
     pc: u32,
     version: u64,
+    /// Raw bytes the decode was made from (first `lowered.len` are live);
+    /// kept so verification mode can prove a hit is not stale.
+    bytes: [u8; 16],
     lowered: Lowered,
 }
 
@@ -121,23 +128,38 @@ impl DecodeCache {
         ((pc ^ (pc >> DCACHE_BITS as u32)) as usize) & (DCACHE_SIZE - 1)
     }
 
-    fn get(&self, pc: u32) -> Option<&Lowered> {
+    fn get(&self, pc: u32) -> Option<&DecodeCacheEntry> {
         match &self.entries[Self::index(pc)] {
-            Some(e) if e.pc == pc && e.version == self.version => Some(&e.lowered),
+            Some(e) if e.pc == pc && e.version == self.version => Some(e),
             _ => None,
         }
     }
 
-    fn put(&mut self, pc: u32, lowered: Lowered) {
+    fn put(&mut self, pc: u32, bytes: [u8; 16], lowered: Lowered) {
         self.entries[Self::index(pc)] = Some(DecodeCacheEntry {
             pc,
             version: self.version,
+            bytes,
             lowered,
         });
     }
 
     fn invalidate_all(&mut self) {
         self.version += 1;
+    }
+
+    /// Drop every cached decode whose bytes may overlap `[start, end)`.
+    /// A decode starting at `pc` covers at most `[pc, pc + 16)`, so only
+    /// pcs in `[start - 15, end)` can be affected; each lives at its own
+    /// direct-mapped slot, so the walk is bounded by `len + 15` probes.
+    fn invalidate_range(&mut self, start: u32, end: u32) {
+        let lo = start.saturating_sub(MAX_INSTR_BYTES - 1);
+        for pc in lo..end {
+            let slot = &mut self.entries[Self::index(pc)];
+            if matches!(slot, Some(e) if e.pc == pc) {
+                *slot = None;
+            }
+        }
     }
 }
 
@@ -162,6 +184,16 @@ pub struct Machine {
     /// One-shot injected fault: raised in place of the next instruction
     /// once `counters.instructions` reaches the trigger count.
     inject: Option<(u64, FaultKind)>,
+    /// Watched code regions: a committed guest store touching one stops
+    /// execution with [`CpuExit::CodeWrite`]. Empty by default.
+    watches: Vec<ExecRegion>,
+    /// Store into a watched region recorded by the current instruction
+    /// (`(addr, len)`), turned into an exit at the end of the step.
+    step_code_write: Option<(u32, u32)>,
+    /// When set, every decode-cache hit is re-verified against the live
+    /// memory bytes; mismatches count in `stale_decode_hits`.
+    verify_decodes: bool,
+    stale_decode_hits: u64,
     step_loads: u64,
     step_stores: u64,
 }
@@ -184,6 +216,10 @@ impl Machine {
             regions: Vec::new(),
             guards: Vec::new(),
             inject: None,
+            watches: Vec::new(),
+            step_code_write: None,
+            verify_decodes: false,
+            stale_decode_hits: 0,
             step_loads: 0,
             step_stores: 0,
         }
@@ -223,6 +259,36 @@ impl Machine {
         &self.guards
     }
 
+    /// Install watched code regions: a guest store whose bytes touch one
+    /// stops execution with [`CpuExit::CodeWrite`] *after* the store (and
+    /// the whole instruction) has committed, so resuming at `eip` makes
+    /// forward progress even when an instruction overwrites itself. Writes
+    /// made through [`Machine::mem`] directly (fragment emission, link
+    /// patching) are exempt — only interpreted guest stores are monitored.
+    pub fn set_watch_regions(&mut self, watches: Vec<ExecRegion>) {
+        self.watches = watches;
+    }
+
+    /// Current watch regions.
+    pub fn watch_regions(&self) -> &[ExecRegion] {
+        &self.watches
+    }
+
+    /// Enable or disable decode verification: every decode-cache hit is
+    /// compared against the live memory bytes, and a mismatch (a stale
+    /// decode that would have executed) is counted in
+    /// [`Machine::stale_decode_hits`] and re-decoded from memory.
+    pub fn set_verify_decodes(&mut self, on: bool) {
+        self.verify_decodes = on;
+    }
+
+    /// Number of decode-cache hits whose cached bytes no longer matched
+    /// memory (only counted while verification is enabled). Staying zero
+    /// proves range invalidation never let a stale decode execute.
+    pub fn stale_decode_hits(&self) -> u64 {
+        self.stale_decode_hits
+    }
+
     /// Arm a one-shot fault injection: once the machine has executed
     /// `instr_count` instructions, the next instruction raises `kind`
     /// instead of executing (a precise, resumable boundary). The trigger
@@ -243,10 +309,20 @@ impl Machine {
         self.counters.charged_overhead += cycles;
     }
 
-    /// Invalidate the decoded-instruction cache. Must be called after any
-    /// write to memory that may hold code (fragment emission, link patching).
+    /// Invalidate the *entire* decoded-instruction cache. Needed only when
+    /// code changed at unknown addresses; prefer
+    /// [`Machine::invalidate_code_range`], which the engine uses on every
+    /// fragment emission and link patch.
     pub fn invalidate_code(&mut self) {
         self.dcache.invalidate_all();
+    }
+
+    /// Invalidate decoded instructions overlapping `[addr, addr + len)`.
+    /// Must be called after any write to memory that may hold code; cost is
+    /// bounded by `len + 15` cache probes, so hot emit/patch paths no
+    /// longer wipe unrelated decodes.
+    pub fn invalidate_code_range(&mut self, addr: u32, len: u32) {
+        self.dcache.invalidate_range(addr, addr.saturating_add(len));
     }
 
     fn in_region(&self, pc: u32) -> bool {
@@ -282,15 +358,31 @@ impl Machine {
                 return Some(CpuExit::Fault { kind, pc, addr: pc });
             }
         }
-        let lowered = match self.dcache.get(pc) {
-            Some(l) => *l,
+        let cached = match self.dcache.get(pc) {
+            Some(e) if !self.verify_decodes => Some(e.lowered),
+            Some(e) => {
+                // Verification mode: prove the hit against live memory.
+                let len = e.lowered.len as usize;
+                let mut buf = [0u8; 16];
+                self.mem.read_bytes(pc, &mut buf[..len]);
+                if buf[..len] == e.bytes[..len] {
+                    Some(e.lowered)
+                } else {
+                    self.stale_decode_hits += 1;
+                    None
+                }
+            }
+            None => None,
+        };
+        let lowered = match cached {
+            Some(l) => l,
             None => {
                 let mut buf = [0u8; 16];
                 self.mem.read_bytes(pc, &mut buf);
                 match decode_instr(&buf, pc) {
                     Ok((instr, len)) => {
                         let l = lower(&instr, len);
-                        self.dcache.put(pc, l);
+                        self.dcache.put(pc, buf, l);
                         l
                     }
                     Err(_) => {
@@ -377,12 +469,32 @@ impl Machine {
         }
     }
 
+    /// Bookkeeping for every interpreted guest store: keep the decode
+    /// cache coherent with the written bytes (so self-modifying code is
+    /// correct in every mode, with no manual invalidation), and flag
+    /// stores that land in a watched code region.
+    fn note_store(&mut self, addr: u32, bytes: u32) {
+        self.step_stores += 1;
+        let end = addr.saturating_add(bytes);
+        self.dcache.invalidate_range(addr, end);
+        if self.watches.iter().any(|w| addr < w.end && end > w.start) {
+            self.step_code_write = Some(match self.step_code_write {
+                None => (addr, bytes),
+                Some((a0, l0)) => {
+                    let lo = a0.min(addr);
+                    let hi = (a0.saturating_add(l0)).max(end);
+                    (lo, hi - lo)
+                }
+            });
+        }
+    }
+
     fn write(&mut self, op: &LOpnd, v: u32) {
         match op {
             LOpnd::Reg(r) => self.cpu.set_reg(*r, v),
             LOpnd::Mem(m) => {
-                self.step_stores += 1;
                 let a = self.addr_of(m);
+                self.note_store(a, m.size.bytes());
                 match m.size {
                     OpSize::S8 => self.mem.write_u8(a, v as u8),
                     OpSize::S16 => self.mem.write_u16(a, v as u16),
@@ -396,7 +508,7 @@ impl Machine {
     fn push32(&mut self, v: u32) {
         let esp = self.cpu.reg(Reg::Esp).wrapping_sub(4);
         self.cpu.set_reg(Reg::Esp, esp);
-        self.step_stores += 1;
+        self.note_store(esp, 4);
         self.mem.write_u32(esp, v);
     }
 
@@ -413,6 +525,7 @@ impl Machine {
         use rio_ia32::Eflags;
         self.step_loads = 0;
         self.step_stores = 0;
+        self.step_code_write = None;
         if !self.guards.is_empty() {
             if let Some(exit) = self.check_guards(pc, l) {
                 return Some(exit);
@@ -779,6 +892,14 @@ impl Machine {
 
         self.cpu.eip = new_eip;
         self.finish_step(l, branch_penalty);
+        if exit.is_none() {
+            // A committed store into a watched code region stops execution
+            // *after* the instruction: state is architecturally complete
+            // and `eip` is past the writer, so resumption cannot livelock.
+            if let Some((addr, len)) = self.step_code_write.take() {
+                return Some(CpuExit::CodeWrite { pc, addr, len });
+            }
+        }
         exit
     }
 
@@ -1076,6 +1197,94 @@ mod tests {
         // Patch immediate to 2.
         m.mem.write_u32(Image::CODE_BASE + 1, 2);
         m.invalidate_code();
+        m.cpu.eip = Image::CODE_BASE;
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 2);
+    }
+
+    #[test]
+    fn interpreted_self_modifying_store_needs_no_manual_invalidation() {
+        // A loop patches its own `add` immediate from 1000 to 2000
+        // mid-run (imm32 values, so the 4-byte immediate is encoded). The
+        // interpreter must invalidate its decode cache on the store by
+        // itself: pass 1 adds 1000, pass 2 must add the patched 2000.
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Ecx), Opnd::imm32(2)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Eax), Opnd::imm32(1000)));
+        let after_add = il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(2000)));
+        let patch = il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(0, OpSize::S32)), // fixed up below
+            Opnd::reg(Reg::Ebx),
+        ));
+        il.push_back(create::dec(Opnd::reg(Reg::Ecx)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        il.push_back(create::hlt());
+        // The add's imm32 occupies the 4 bytes before the next instruction.
+        let enc = encode_list(&il, Image::CODE_BASE).unwrap();
+        let imm_addr = Image::CODE_BASE + enc.offset_of(after_add).unwrap() - 4;
+        il.get_mut(patch)
+            .set_dst(0, Opnd::Mem(MemRef::absolute(imm_addr, OpSize::S32)));
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        m.set_verify_decodes(true);
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Eax), 3000); // 1000 + patched 2000
+        assert_eq!(m.stale_decode_hits(), 0); // never served a stale decode
+    }
+
+    #[test]
+    fn watched_store_exits_after_commit_with_eip_advanced() {
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(0x90)));
+        let store = il.push_back(create::mov(
+            Opnd::Mem(MemRef::absolute(Image::CODE_BASE + 0x40, OpSize::S32)),
+            Opnd::reg(Reg::Eax),
+        ));
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(7)));
+        il.push_back(create::hlt());
+        let enc = encode_list(&il, Image::CODE_BASE).unwrap();
+        let store_pc = Image::CODE_BASE + enc.offset_of(store).unwrap();
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(enc.bytes));
+        m.set_watch_regions(vec![ExecRegion::new(
+            Image::CODE_BASE,
+            Image::CODE_BASE + 0x100,
+        )]);
+        let exit = m.run();
+        assert_eq!(
+            exit,
+            CpuExit::CodeWrite {
+                pc: store_pc,
+                addr: Image::CODE_BASE + 0x40,
+                len: 4,
+            }
+        );
+        // The store committed and eip is past the writer: resumable.
+        assert_eq!(m.mem.read_u32(Image::CODE_BASE + 0x40), 0x90);
+        assert!(m.cpu.eip > store_pc);
+        assert_eq!(m.run(), CpuExit::Halt);
+        assert_eq!(m.cpu.reg(Reg::Ebx), 7);
+    }
+
+    #[test]
+    fn range_invalidation_spares_unrelated_decodes() {
+        // Writes far from any decoded pc must not clear cached entries;
+        // writes overlapping one must. Probed via the public behaviour:
+        // a stale decode would execute the old immediate.
+        let mut il = InstrList::new();
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+        il.push_back(create::hlt());
+        let code = encode_list(&il, Image::CODE_BASE).unwrap().bytes;
+        let mut m = Machine::new(CpuKind::Pentium4);
+        m.load_image(&Image::from_code(code));
+        assert_eq!(m.run(), CpuExit::Halt);
+        // Patch the immediate through memory, invalidating just that range.
+        m.mem.write_u32(Image::CODE_BASE + 1, 2);
+        m.invalidate_code_range(Image::CODE_BASE + 1, 4);
         m.cpu.eip = Image::CODE_BASE;
         assert_eq!(m.run(), CpuExit::Halt);
         assert_eq!(m.cpu.reg(Reg::Eax), 2);

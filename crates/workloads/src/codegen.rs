@@ -545,6 +545,21 @@ impl Codegen {
                             self.il.push_back(create::int(0x80));
                             return Ok(());
                         }
+                        // poke(addr, value) -> value: store a 32-bit word
+                        // to an arbitrary address (for self-modifying-code
+                        // workloads that patch their own instructions).
+                        ("poke", 2) => {
+                            self.eval(ctx, &args[1])?;
+                            self.il.push_back(create::push(eax()));
+                            self.eval(ctx, &args[0])?;
+                            self.il.push_back(create::pop(Opnd::reg(Reg::Edx)));
+                            self.il.push_back(create::mov(
+                                Opnd::Mem(MemRef::base_disp(Reg::Eax, 0, OpSize::S32)),
+                                Opnd::reg(Reg::Edx),
+                            ));
+                            self.il.push_back(create::mov(eax(), Opnd::reg(Reg::Edx)));
+                            return Ok(());
+                        }
                         // peek(addr) -> the 32-bit word at an arbitrary
                         // address (for provoking memory faults on guarded
                         // regions).

@@ -33,6 +33,7 @@ pub mod compiler;
 pub mod faulting;
 pub mod lexer;
 pub mod parser;
+pub mod smc;
 pub mod suite;
 
 pub use compiler::{compile, CompileError};

@@ -71,3 +71,35 @@ fn parallel_runner_is_job_count_invariant() {
         assert_eq!(run(jobs), serial, "jobs={jobs} changed suite results");
     }
 }
+
+#[test]
+fn bounded_cache_fifo_eviction_is_job_count_invariant() {
+    // A tiny cache limit forces FIFO evictions throughout every benchmark;
+    // the eviction order (and hence rebuild counts, counters, and stats)
+    // must be identical however the suite is distributed over workers.
+    let benches: Vec<_> = suite_scaled(2)
+        .into_iter()
+        .take(4)
+        .map(|b| {
+            let image = compiled(&b);
+            (b, image)
+        })
+        .collect();
+    let mut opts = Options::full();
+    opts.cache_limit = Some(4096);
+    let run = |jobs: usize| {
+        run_parallel(&benches, jobs, |_, (_, image)| {
+            let r = run_config(image, opts, CpuKind::Pentium4, ClientKind::Combined);
+            (r.cycles, r.instructions, r.exit_code, r.stats)
+        })
+    };
+    let serial = run(1);
+    assert!(
+        serial.iter().any(|(_, _, _, s)| s.evictions > 0),
+        "limit never forced an eviction"
+    );
+    assert!(serial.iter().all(|(_, _, _, s)| s.cache_flushes == 0));
+    for jobs in [2, 4] {
+        assert_eq!(run(jobs), serial, "jobs={jobs} changed eviction behavior");
+    }
+}
