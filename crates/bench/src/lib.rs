@@ -16,6 +16,8 @@
 //!
 //! Micro-benchmarks live under `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub use harness::{

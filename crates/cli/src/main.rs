@@ -9,6 +9,7 @@
 //! rio suite [--client NAME] [--jobs N]         run the whole benchmark suite
 //! rio faults [--cpu p3|p4] [--jobs N]          fault-injection robustness suite
 //! rio smc [--cpu p3|p4] [--jobs N]             self-modifying-code consistency suite
+//! rio verify [--cpu p3|p4] [--jobs N]          run everything under the cache verifier
 //! rio bench-list                               list the benchmark suite
 //!
 //! run options:
@@ -24,6 +25,8 @@
 //!                     also honors the RIO_CACHE_LIMIT env var)
 //!   --max-instructions N  stop after N application instructions (exit 124)
 //!   --timeout-cycles N    stop after N simulated cycles (exit 124)
+//!   --verify          re-verify affected fragments at every safe point
+//!                     (also honors RIO_VERIFY=1; never charged to the run)
 //!   --stats           print engine statistics
 //!
 //! suite options: --client as above (the six measured kinds), --cpu,
@@ -36,6 +39,8 @@
 //! fault, 128 engine-level failure) with a one-line report on stderr —
 //! the same convention the simulated OS uses for native runs.
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -54,7 +59,7 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 124;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rio <run|native|disasm|fragments|suite|faults|smc|bench-list> [args]  (see --help in source header)"
+        "usage: rio <run|native|disasm|fragments|suite|faults|smc|verify|bench-list> [args]  (see --help in source header)"
     );
     ExitCode::from(2)
 }
@@ -146,6 +151,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 );
             }
             "--stats" => out.stats = true,
+            "--verify" => out.options.verify = true,
             other if !other.starts_with('-') && out.spec.is_empty() => {
                 out.spec = other.to_string();
             }
@@ -157,7 +163,21 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     }
     // `--cache-limit` wins; otherwise honor the environment.
     apply_cache_limit_env(&mut out.options)?;
+    apply_verify_env(&mut out.options);
     Ok(out)
+}
+
+/// Turn on incremental verification when `RIO_VERIFY=1` is set (unless the
+/// explicit `--verify` flag already did).
+fn apply_verify_env(options: &mut Options) {
+    if !options.verify {
+        options.verify = verify_env();
+    }
+}
+
+/// Whether `RIO_VERIFY` asks for verification (any value except `0`/empty).
+fn verify_env() -> bool {
+    std::env::var("RIO_VERIFY").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// Fill `Options::cache_limit` from `RIO_CACHE_LIMIT` when no explicit
@@ -259,12 +279,14 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         eprint!("{}", r.client_output);
     }
     eprintln!(
-        "--- {} instrs, {} cycles, {:.3}x native, {} evictions, {} code writes ---",
+        "--- {} instrs, {} cycles, {:.3}x native, {} evictions, {} code writes, {} checks ({} violations) ---",
         r.counters.instructions,
         r.counters.cycles,
         r.counters.cycles as f64 / native.counters.cycles as f64,
         r.stats.evictions,
-        r.stats.code_writes
+        r.stats.code_writes,
+        r.stats.checks_run,
+        r.stats.violations
     );
     if a.stats {
         eprintln!("{}", r.stats);
@@ -375,6 +397,7 @@ fn cmd_suite(args: &[String]) -> Result<ExitCode, String> {
 
     let mut opts = Options::full();
     apply_cache_limit_env(&mut opts)?;
+    apply_verify_env(&mut opts);
     let benches = compiled_suite();
     let rows = run_parallel(&benches, njobs, |_, (b, image)| {
         let (native, exit, out) = native_cycles(image, cpu);
@@ -539,23 +562,40 @@ fn drive_faulty<C: Client>(
     }
 }
 
-fn scenario_options(emulate: bool) -> Options {
-    if emulate {
+fn scenario_options(emulate: bool, verify: bool) -> Options {
+    let mut opts = if emulate {
         Options::emulation()
     } else {
         Options::full()
+    };
+    opts.verify = verify;
+    opts
+}
+
+/// Suffix a scenario report line with the verification tally, and enforce
+/// zero violations, when the matrix runs under `RIO_VERIFY`.
+fn verify_suffix(verify: bool, stats: &Stats) -> Result<String, String> {
+    if !verify {
+        return Ok(String::new());
     }
+    if stats.violations != 0 {
+        return Err(format!(
+            "{} verifier violation(s) across {} checks",
+            stats.violations, stats.checks_run
+        ));
+    }
+    Ok(format!(", {} checks verified", stats.checks_run))
 }
 
 /// Run one scenario; `Ok` is the deterministic report line.
-fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> {
+fn run_fault_scenario(s: FaultScenario, cpu: CpuKind, verify: bool) -> Result<String, String> {
     let name = s.name();
     let fail = |why: String| Err(format!("{name}: {why}"));
     match s {
         FaultScenario::Inject { kind, emulate } => {
             let image = compile(INJECT_SOURCE).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native(&image, cpu);
-            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let rio = Rio::new(&image, scenario_options(emulate, verify), cpu, NullClient);
             let injector = FaultInjector::new(InjectionPlan::AtInstruction { at: 400, kind });
             let (r, faults) = drive_faulty(rio, Some(injector), 8);
             if faults.len() != 1 || faults[0].kind != Some(kind) {
@@ -570,8 +610,9 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
                     r.exit_code, native.exit_code
                 ));
             }
+            let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
             Ok(format!(
-                "ok {name}: faulted at eip {:#x} (app pc {:?}), resumed to native-identical exit {}",
+                "ok {name}: faulted at eip {:#x} (app pc {:?}), resumed to native-identical exit {}{suffix}",
                 faults[0].cache_eip,
                 faults[0].app_pc.map(|p| format!("{p:#x}")),
                 r.exit_code
@@ -580,7 +621,7 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
         FaultScenario::CorruptAll => {
             let image = compile(INJECT_SOURCE).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native(&image, cpu);
-            let rio = Rio::new(&image, Options::full(), cpu, NullClient);
+            let rio = Rio::new(&image, scenario_options(false, verify), cpu, NullClient);
             let injector = FaultInjector::new(InjectionPlan::CorruptAll { min_frags: 4 });
             let (r, faults) = drive_faulty(rio, Some(injector), 64);
             if faults.is_empty() {
@@ -601,8 +642,19 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
             if r.stats.fault_evictions == 0 {
                 return fail("no fragment was evicted".into());
             }
+            // This scenario deliberately corrupts cache bytes, so the
+            // verifier reporting violations here is detection, not a bug —
+            // the report carries the tally instead of enforcing zero.
+            let suffix = if verify {
+                format!(
+                    ", verifier flagged {} violation(s) across {} checks",
+                    r.stats.violations, r.stats.checks_run
+                )
+            } else {
+                String::new()
+            };
             Ok(format!(
-                "ok {name}: {} faults, {} evictions, self-healed to native-identical exit {}",
+                "ok {name}: {} faults, {} evictions, self-healed to native-identical exit {}{suffix}",
                 faults.len(),
                 r.stats.fault_evictions,
                 r.exit_code
@@ -611,7 +663,7 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
         FaultScenario::DivRecover { emulate } => {
             let image = compile(&faulting::div_recover()).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native(&image, cpu);
-            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let rio = Rio::new(&image, scenario_options(emulate, verify), cpu, NullClient);
             let (r, faults) = drive_faulty(rio, None, 1);
             if !faults.is_empty() {
                 return fail(format!("unexpected terminal fault: {}", faults[0].message));
@@ -629,15 +681,16 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
                     r.stats.faults_delivered
                 ));
             }
+            let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
             Ok(format!(
-                "ok {name}: {} faults delivered in a hot loop, output native-identical",
+                "ok {name}: {} faults delivered in a hot loop, output native-identical{suffix}",
                 r.stats.faults_delivered
             ))
         }
         FaultScenario::WildLoad { emulate } => {
             let image = compile(&faulting::wild_load()).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native_guarded(&image, cpu, faulting::guard_regions());
-            let mut rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let mut rio = Rio::new(&image, scenario_options(emulate, verify), cpu, NullClient);
             rio.core
                 .machine
                 .set_guard_regions(faulting::guard_regions());
@@ -651,14 +704,15 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
                     r.exit_code, native.exit_code
                 ));
             }
+            let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
             Ok(format!(
-                "ok {name}: guarded load delivered and recovered, output native-identical"
+                "ok {name}: guarded load delivered and recovered, output native-identical{suffix}"
             ))
         }
         FaultScenario::DivUnhandled { emulate } => {
             let image = compile(&faulting::div_unhandled()).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native(&image, cpu);
-            let rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let rio = Rio::new(&image, scenario_options(emulate, verify), cpu, NullClient);
             let (r, faults) = drive_faulty(rio, None, 1);
             if faults.len() != 1 || faults[0].kind != Some(FaultKind::DivideError) {
                 return fail("expected one unhandled divide error".into());
@@ -669,14 +723,15 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
                     r.exit_code, native.exit_code
                 ));
             }
+            let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
             Ok(format!(
-                "ok {name}: unhandled divide error, exit 129 in every mode"
+                "ok {name}: unhandled divide error, exit 129 in every mode{suffix}"
             ))
         }
         FaultScenario::WildUnhandled { emulate } => {
             let image = compile(&faulting::wild_unhandled()).map_err(|e| format!("{name}: {e}"))?;
             let native = run_native_guarded(&image, cpu, faulting::guard_regions());
-            let mut rio = Rio::new(&image, scenario_options(emulate), cpu, NullClient);
+            let mut rio = Rio::new(&image, scenario_options(emulate, verify), cpu, NullClient);
             rio.core
                 .machine
                 .set_guard_regions(faulting::guard_regions());
@@ -690,8 +745,9 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
                     r.exit_code, native.exit_code
                 ));
             }
+            let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
             Ok(format!(
-                "ok {name}: unhandled memory fault, exit 131 in every mode"
+                "ok {name}: unhandled memory fault, exit 131 in every mode{suffix}"
             ))
         }
     }
@@ -704,8 +760,9 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind) -> Result<String, String> 
 /// for any `--jobs` value.
 fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
     let (cpu, njobs) = parse_suite_args(args)?;
+    let verify = verify_env();
     let rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
-        run_fault_scenario(s, cpu)
+        run_fault_scenario(s, cpu, verify)
     });
     print_suite_rows(&rows, "fault")
 }
@@ -856,7 +913,7 @@ impl SmcScenario {
 /// is differential against native execution, driven through budgeted
 /// (suspendable) steps, with decode verification on so any stale copy that
 /// executes is counted.
-fn run_smc_scenario(s: SmcScenario, cpu: CpuKind) -> Result<String, String> {
+fn run_smc_scenario(s: SmcScenario, cpu: CpuKind, verify: bool) -> Result<String, String> {
     let name = s.name();
     let fail = |why: String| Err(format!("{name}: {why}"));
     let src = match s.workload {
@@ -870,6 +927,7 @@ fn run_smc_scenario(s: SmcScenario, cpu: CpuKind) -> Result<String, String> {
         SmcMode::Emulate => Options::emulation(),
         SmcMode::Cache | SmcMode::Bounded => Options::full(),
     };
+    opts.verify = verify;
     if matches!(s.mode, SmcMode::Bounded) {
         opts.cache_limit = Some(64);
     }
@@ -921,8 +979,9 @@ fn run_smc_scenario(s: SmcScenario, cpu: CpuKind) -> Result<String, String> {
             ));
         }
     }
+    let suffix = verify_suffix(verify, &r.stats).map_err(|e| format!("{name}: {e}"))?;
     Ok(format!(
-        "ok {name}: output native-identical, {} code writes, {} invalidations, {} evictions, 0 stale decodes",
+        "ok {name}: output native-identical, {} code writes, {} invalidations, {} evictions, 0 stale decodes{suffix}",
         r.stats.code_writes, r.stats.invalidations, r.stats.evictions
     ))
 }
@@ -934,8 +993,132 @@ fn run_smc_scenario(s: SmcScenario, cpu: CpuKind) -> Result<String, String> {
 /// value.
 fn cmd_smc(args: &[String]) -> Result<ExitCode, String> {
     let (cpu, njobs) = parse_suite_args(args)?;
-    let rows = run_parallel(&SmcScenario::ALL, njobs, |_, &s| run_smc_scenario(s, cpu));
+    let verify = verify_env();
+    let rows = run_parallel(&SmcScenario::ALL, njobs, |_, &s| {
+        run_smc_scenario(s, cpu, verify)
+    });
     print_suite_rows(&rows, "smc")
+}
+
+// ----- whole-system verification ------------------------------------------
+
+/// Run one suite benchmark under a given client with incremental
+/// verification at every safe point, then a final whole-cache sweep.
+/// `Ok` carries the report line plus the (checks, violations) tally.
+fn run_verified_bench(
+    image: &Image,
+    cpu: CpuKind,
+    bench: &str,
+    client: &str,
+) -> Result<(String, u64, u64), String> {
+    fn go<C: Client>(image: &Image, cpu: CpuKind, client: C) -> (RioRunResult, Stats, Vec<String>) {
+        let mut opts = Options::full();
+        opts.verify = true;
+        let mut rio = Rio::new(image, opts, cpu, client);
+        let r = rio.run();
+        let sweep = rio.core.verify_cache();
+        let details: Vec<String> = rio
+            .core
+            .verify_findings()
+            .iter()
+            .map(|v| v.to_string())
+            .chain(sweep.iter().map(|v| v.to_string()))
+            .take(5)
+            .collect();
+        let stats = rio.core.stats;
+        (r, stats, details)
+    }
+    let name = format!("{bench}/{client}");
+    let (r, stats, details) = match client {
+        "null" => go(image, cpu, NullClient),
+        "combined" => go(image, cpu, Combined::new()),
+        "shepherd" => go(image, cpu, Shepherd::new()),
+        other => return Err(format!("{name}: unknown verify client `{other}`")),
+    };
+    if let Some(f) = &r.fault {
+        return Err(format!("{name}: faulted: {}", f.message));
+    }
+    if stats.violations != 0 {
+        return Err(format!(
+            "{name}: {} violation(s) across {} checks: {}",
+            stats.violations,
+            stats.checks_run,
+            details.join("; ")
+        ));
+    }
+    Ok((
+        format!("ok {name}: {} checks, 0 violations", stats.checks_run),
+        stats.checks_run,
+        stats.violations,
+    ))
+}
+
+/// `rio verify`: the full verification gauntlet — every suite benchmark
+/// under the null, combined, and shepherd clients with incremental
+/// verification plus a final whole-cache sweep, then the fault and SMC
+/// matrices re-run under verification. Fails (exit 1) on any violation
+/// outside the deliberate cache-corruption scenario, where verifier
+/// findings are detection rather than defects. Output is byte-identical
+/// for any `--jobs` value.
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let (cpu, njobs) = parse_suite_args(args)?;
+    let benches = compiled_suite();
+    const CLIENTS: [&str; 3] = ["null", "combined", "shepherd"];
+    let mut items = Vec::new();
+    for (b, image) in &benches {
+        for client in CLIENTS {
+            items.push((b.name, image, client));
+        }
+    }
+    let rows = run_parallel(&items, njobs, |_, &(bench, image, client)| {
+        run_verified_bench(image, cpu, bench, client)
+    });
+    let mut failures = 0usize;
+    let (mut checks, mut violations) = (0u64, 0u64);
+    for row in &rows {
+        match row {
+            Ok((line, c, v)) => {
+                println!("{line}");
+                checks += c;
+                violations += v;
+            }
+            Err(line) => {
+                println!("FAIL {line}");
+                failures += 1;
+            }
+        }
+    }
+    println!();
+    let fault_rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
+        run_fault_scenario(s, cpu, true)
+    });
+    let faults_ok = print_suite_rows(&fault_rows, "fault");
+    println!();
+    let smc_rows = run_parallel(&SmcScenario::ALL, njobs, |_, &s| {
+        run_smc_scenario(s, cpu, true)
+    });
+    let smc_ok = print_suite_rows(&smc_rows, "smc");
+    println!();
+    println!(
+        "verify: {checks} checks ({violations} violations) across {} suite runs, plus {} fault and {} smc scenarios under verification",
+        rows.len(),
+        fault_rows.len(),
+        smc_rows.len()
+    );
+    let mut problems = Vec::new();
+    if failures > 0 {
+        problems.push(format!("{failures} verified suite run(s) failed"));
+    }
+    if let Err(e) = faults_ok {
+        problems.push(e);
+    }
+    if let Err(e) = smc_ok {
+        problems.push(e);
+    }
+    if !problems.is_empty() {
+        return Err(problems.join("; "));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_bench_list() -> ExitCode {
@@ -968,6 +1151,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(rest),
         "faults" => cmd_faults(rest),
         "smc" => cmd_smc(rest),
+        "verify" => cmd_verify(rest),
         "bench-list" => Ok(cmd_bench_list()),
         _ => return usage(),
     };

@@ -139,6 +139,10 @@ impl IbDispatch {
         for t in &targets {
             let lbl = il.insert_after(insert_after, Instr::label());
             let restore = il.insert_after(lbl, create::mov(Opnd::reg(Reg::Ecx), ecx_slot));
+            // Mark the restore so re-emission knows the %ecx spill region
+            // ends here (keeps the fragment's fault-translation rows and
+            // the cache verifier's spill-balance check exact).
+            il.get_mut(restore).note = Note::IbCheckEnd.pack();
             let exit = il.insert_after(restore, create::jmp(Target::Pc(*t)));
             insert_after = exit;
             match_blocks.push((lbl, *t));

@@ -27,6 +27,8 @@
 //! println!("{}", result.client_output);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod combined;
 pub mod ctrace;
 pub mod ibdispatch;

@@ -163,7 +163,9 @@ impl Rlr {
                     // The value is live in another register: a reg-reg copy
                     // is cheaper than the memory load ("if a variable's
                     // value is already in a register...").
-                    il.replace(id, rio_ia32::create::mov(Opnd::Reg(r), Opnd::Reg(src)));
+                    let mut copy = rio_ia32::create::mov(Opnd::Reg(r), Opnd::Reg(src));
+                    copy.set_app_pc(il.get(id).app_pc());
+                    il.replace(id, copy);
                     self.loads_copied += 1;
                     pairs.retain(|p| !p.reg.overlaps(r) && !p.mem.uses_reg(r));
                     pairs.push(Pair { reg: r, mem: m });

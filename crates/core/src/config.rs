@@ -42,6 +42,12 @@ pub struct Options {
     /// evaluation configuration). When exceeded, the sub-cache is flushed at
     /// the next safe point.
     pub cache_limit: Option<u32>,
+    /// Re-verify affected fragments' structural invariants after every
+    /// emit, link, unlink, invalidation, and eviction (set by `RIO_VERIFY=1`;
+    /// the self-checking mode behind `Core::verify_cache`). Verification
+    /// work is not charged to the run, so enabling it never perturbs the
+    /// application's cycle counts.
+    pub verify: bool,
 }
 
 impl Default for Options {
@@ -56,6 +62,7 @@ impl Default for Options {
             inline_ib_target: true,
             max_bb_instrs: 12,
             cache_limit: None,
+            verify: false,
         }
     }
 }

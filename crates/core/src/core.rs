@@ -17,6 +17,7 @@ use crate::emit::{emit_fragment, CustomStub};
 use crate::link::{redirect_incoming, unlink_incoming, unlink_outgoing};
 use crate::mangle::Note;
 use crate::stats::Stats;
+use crate::verify::{verify_fragment, LintSnapshot, Violation};
 
 /// State of an in-progress trace recording (§3.5's trace generation mode).
 #[derive(Clone, Debug)]
@@ -80,6 +81,11 @@ pub struct Core {
     sideline_queue: Vec<(u32, u64)>,
     sideline_cycles: u64,
     pending_flush: bool,
+    /// Fragments touched by an emit/link/unlink/invalidate/evict since the
+    /// last safe point, awaiting re-verification under [`Options::verify`].
+    verify_queue: Vec<(usize, FragmentId)>,
+    /// Violations recorded by incremental verification and the lints.
+    verify_findings: Vec<Violation>,
 }
 
 impl Core {
@@ -106,6 +112,8 @@ impl Core {
             sideline_queue: Vec::new(),
             sideline_cycles: 0,
             pending_flush: false,
+            verify_queue: Vec::new(),
+            verify_findings: Vec::new(),
         }
     }
 
@@ -216,6 +224,12 @@ impl Core {
         self.clean_call_args.get(token as usize).copied()
     }
 
+    /// Number of clean-call tokens registered so far (sentinels below this
+    /// bound are valid transfer targets for the verifier).
+    pub(crate) fn clean_call_count(&self) -> u32 {
+        self.clean_call_args.len() as u32
+    }
+
     // ----- custom traces (§3.5) -------------------------------------------
 
     /// Mark `tag` as a trace head (paper: `dr_mark_trace_head`). Future and
@@ -231,6 +245,7 @@ impl Core {
             if !self.threads[self.cur].cache.frag(id).is_trace_head {
                 self.threads[self.cur].cache.frag_mut(id).is_trace_head = true;
                 let n_unlinked = self.threads[self.cur].cache.frag(id).incoming.len() as u64;
+                self.note_verify_neighbors(self.cur, id);
                 unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
                 self.stats.unlinks += n_unlinked;
             }
@@ -286,23 +301,47 @@ impl Core {
     /// excluded). Exit branches are re-targeted to their application
     /// addresses (direct) or the lookup sentinel (indirect, with their
     /// [`Note::IbExit`] marker restored); intra-fragment branches become
-    /// label targets. Inline-check region markers are not reconstructable
-    /// from machine code and are absent.
+    /// label targets. Application pcs and `%ecx` spill/restore markers are
+    /// restored from the translation table, so a re-emitted copy keeps
+    /// working fault translation. Inline-check *metadata* (the expected
+    /// target of a [`Note::IbCheckBegin`]) is not reconstructable from
+    /// machine code, so re-decoded fragments conservatively lose check
+    /// elision.
     pub fn decode_fragment(&self, tag: u32) -> Option<InstrList> {
         let id = self.threads[self.cur].cache.lookup(tag)?;
         let frag = self.threads[self.cur].cache.frag(id);
         let start = frag.start;
         let body_end = start + frag.body_len;
 
-        // Pass 1: linear decode of the body.
+        // Pass 1: linear decode of the body, restoring each instruction's
+        // application pc from the translation table.
         let mut decoded: Vec<(u32, Instr)> = Vec::new();
+        let mut spill_state: Vec<bool> = Vec::new();
         let mut pc = start;
         let mut buf = [0u8; 16];
         while pc < body_end {
             self.machine.mem.read_bytes(pc, &mut buf);
-            let (instr, len) = decode_instr(&buf, pc).ok()?;
+            let (mut instr, len) = decode_instr(&buf, pc).ok()?;
+            let row = frag.translate(pc);
+            instr.set_app_pc(row.map_or(0, |t| t.app_pc));
+            spill_state.push(row.is_some_and(|t| t.ecx_spilled));
             decoded.push((pc - start, instr));
             pc += len;
+        }
+        // Restore the %ecx spill markers: `ecx_spilled` flips true on the
+        // row *after* a spill and false on the row after the restoring
+        // load, so each transition identifies the instruction carrying the
+        // marker. (A spill that opened an inline check is re-marked as a
+        // plain spill — same region semantics, no elidable metadata.)
+        for i in 0..decoded.len().saturating_sub(1) {
+            if decoded[i].1.note != 0 {
+                continue;
+            }
+            match (spill_state[i], spill_state[i + 1]) {
+                (false, true) => decoded[i].1.note = Note::Spill.pack(),
+                (true, false) => decoded[i].1.note = Note::IbCheckEnd.pack(),
+                _ => {}
+            }
         }
 
         // Exit branch offsets -> exit metadata.
@@ -380,6 +419,13 @@ impl Core {
             let f = self.threads[self.cur].cache.frag(old);
             (f.kind, f.src_ranges.clone())
         };
+        // Transformation-safety lint: diff the replacement list against the
+        // cache copy it replaces — client edits may only add writes to
+        // registers and flags the liveness analysis proves dead.
+        if let Some(pre) = self.decode_fragment(tag) {
+            let snapshot = LintSnapshot::capture(&pre);
+            self.lint_client_edit(&snapshot, &il, tag);
+        }
         self.charge(self.costs.replace_fragment);
         let custom = std::mem::take(&mut self.pending_custom_stubs);
         let Ok(new) = emit_fragment(
@@ -403,6 +449,8 @@ impl Core {
             f.is_trace_head = head;
             f.counter = counter;
         }
+        self.note_verify(self.cur, new);
+        self.note_verify_neighbors(self.cur, old);
         let moved = self.threads[self.cur].cache.frag(old).incoming.len() as u64;
         redirect_incoming(
             &mut self.machine,
@@ -435,6 +483,13 @@ impl Core {
             if inside {
                 still_pending.push(id);
             } else {
+                // The fragment may have re-acquired links after replacement
+                // stripped them: it keeps executing until control leaves it,
+                // and traversing an exit re-links lazily. Strip them again
+                // so the tombstone leaves no dangling link records.
+                self.note_verify_neighbors(self.cur, id);
+                unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
+                unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
                 self.threads[self.cur].cache.mark_deleted(id);
                 self.stats.deletions += 1;
                 tags.push(self.threads[self.cur].cache.frag(id).tag);
@@ -502,6 +557,7 @@ impl Core {
                 if self.threads[self.cur].cache.frag(id).contains(eip) {
                     continue;
                 }
+                self.note_verify_neighbors(self.cur, id);
                 unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
                 unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
                 self.threads[self.cur].cache.remove_from_maps(id);
@@ -578,6 +634,7 @@ impl Core {
                 .map(|f| f.id)
                 .collect();
             for id in ids {
+                self.note_verify_neighbors(t, id);
                 unlink_incoming(&mut self.machine, &mut self.threads[t].cache, id);
                 unlink_outgoing(&mut self.machine, &mut self.threads[t].cache, id);
                 self.threads[t].cache.remove_from_maps(id);
@@ -603,6 +660,7 @@ impl Core {
     /// out of the fragment before it could re-enter.
     pub(crate) fn fault_evict(&mut self, id: FragmentId) -> u32 {
         let tag = self.threads[self.cur].cache.frag(id).tag;
+        self.note_verify_neighbors(self.cur, id);
         unlink_incoming(&mut self.machine, &mut self.threads[self.cur].cache, id);
         unlink_outgoing(&mut self.machine, &mut self.threads[self.cur].cache, id);
         self.threads[self.cur].cache.remove_from_maps(id);
@@ -618,6 +676,118 @@ impl Core {
     /// rebuild a fresh cache copy (self-healing).
     pub(crate) fn take_fault_quarantine(&mut self, tag: u32) -> bool {
         self.threads[self.cur].fault_quarantine.remove(&tag)
+    }
+
+    // ----- static verification ----------------------------------------------
+
+    /// Run the cache verifier over every live fragment in every thread's
+    /// cache, decoding the actual cache bytes and checking the structural
+    /// invariants (clean decode, closed-world control flow, link-map
+    /// agreement, translation-table monotonicity and coverage, `%ecx`
+    /// spill balance, source-range sanity). One check is counted per
+    /// fragment in [`Stats::checks_run`]; violations are returned in
+    /// deterministic (thread, fragment) order and counted in
+    /// [`Stats::violations`].
+    pub fn verify_cache(&mut self) -> Vec<Violation> {
+        let clean_calls = self.clean_call_count();
+        let mut all = Vec::new();
+        for t in 0..self.threads.len() {
+            let ids: Vec<FragmentId> = self.threads[t]
+                .cache
+                .iter()
+                .filter(|f| !f.deleted)
+                .map(|f| f.id)
+                .collect();
+            for id in ids {
+                self.stats.checks_run += 1;
+                let v = verify_fragment(
+                    &self.machine,
+                    &self.threads[t].cache,
+                    t,
+                    id,
+                    self.app_code_range,
+                    clean_calls,
+                );
+                self.stats.violations += v.len() as u64;
+                all.extend(v);
+            }
+        }
+        all
+    }
+
+    /// Violations recorded so far by incremental (`RIO_VERIFY`)
+    /// verification and the client-safety lints, in detection order.
+    pub fn verify_findings(&self) -> &[Violation] {
+        &self.verify_findings
+    }
+
+    /// Queue a fragment for re-verification at the next safe point (no-op
+    /// unless [`Options::verify`] is set). Called wherever the cache is
+    /// mutated: emission, linking, unlinking, invalidation, eviction.
+    pub(crate) fn note_verify(&mut self, thread: usize, id: FragmentId) {
+        if self.options.verify {
+            self.verify_queue.push((thread, id));
+        }
+    }
+
+    /// Queue the link neighbors of `id` — incoming sources (their exits
+    /// will be re-patched) and outgoing targets (their incoming lists will
+    /// shrink) — ahead of an unlink or deletion of `id`.
+    pub(crate) fn note_verify_neighbors(&mut self, thread: usize, id: FragmentId) {
+        if !self.options.verify {
+            return;
+        }
+        let f = self.threads[thread].cache.frag(id);
+        let mut neighbors: Vec<FragmentId> = f.incoming.iter().map(|(src, _)| *src).collect();
+        neighbors.extend(f.exits.iter().filter_map(|e| e.linked_to));
+        for n in neighbors {
+            if n != id {
+                self.verify_queue.push((thread, n));
+            }
+        }
+    }
+
+    /// Re-verify every fragment queued since the last safe point
+    /// (deduplicated; tombstoned fragments are skipped). Verification work
+    /// is not charged to the run. Returns the number of new violations.
+    pub(crate) fn drain_verify_queue(&mut self) -> usize {
+        if self.verify_queue.is_empty() {
+            return 0;
+        }
+        let mut queue = std::mem::take(&mut self.verify_queue);
+        queue.sort_unstable_by_key(|(t, id)| (*t, id.0));
+        queue.dedup();
+        let clean_calls = self.clean_call_count();
+        let mut found = 0;
+        for (t, id) in queue {
+            if self.threads[t].cache.frag(id).deleted {
+                continue;
+            }
+            self.stats.checks_run += 1;
+            let v = verify_fragment(
+                &self.machine,
+                &self.threads[t].cache,
+                t,
+                id,
+                self.app_code_range,
+                clean_calls,
+            );
+            found += v.len();
+            self.stats.violations += v.len() as u64;
+            self.verify_findings.extend(v);
+        }
+        found
+    }
+
+    /// Run the client-safety lints over an instruction list a client hook
+    /// just returned, diffing it against the pre-hook `snapshot` under a
+    /// fresh liveness analysis. Always on (uncharged); violations land in
+    /// [`Stats::violations`] and [`Core::verify_findings`].
+    pub(crate) fn lint_client_edit(&mut self, snapshot: &LintSnapshot, il: &InstrList, tag: u32) {
+        self.stats.checks_run += 1;
+        let v = snapshot.check(il, self.cur, tag);
+        self.stats.violations += v.len() as u64;
+        self.verify_findings.extend(v);
     }
 
     // ----- introspection for reports ---------------------------------------

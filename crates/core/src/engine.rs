@@ -39,6 +39,7 @@ use crate::emit::emit_fragment;
 use crate::link::link_exit;
 use crate::mangle::{mangle_bb, mangle_trace_connector, Terminator};
 use crate::stats::Stats;
+use crate::verify::LintSnapshot;
 
 /// Result of running a program under RIO.
 #[derive(Clone, Debug)]
@@ -454,6 +455,9 @@ impl<C: Client> Rio<C> {
     fn settle(&mut self, suspended: Phase, outcome: StepOutcome) -> StepOutcome {
         match outcome {
             StepOutcome::Exited(code) => {
+                // Final safe point: anything still queued for verification
+                // gets checked before the exit hooks observe the stats.
+                self.core.drain_verify_queue();
                 self.client.thread_exit(&mut self.core);
                 self.client.on_exit(&mut self.core);
                 self.phase = Phase::Finished(code);
@@ -930,6 +934,10 @@ impl<C: Client> Rio<C> {
         for (s_tag, arg) in self.core.take_sideline_requests() {
             self.client.sideline_optimize(&mut self.core, s_tag, arg);
         }
+        // Dispatch is a safe point: re-verify every fragment touched by an
+        // emit, link, unlink, invalidation, or eviction since the last one
+        // (no-op unless `Options::verify` is set; never charged).
+        self.core.drain_verify_queue();
 
         // Traces shadow blocks — but not while recording (recording steps
         // through basic blocks).
@@ -1009,7 +1017,11 @@ impl<C: Client> Rio<C> {
         self.core.stats.bb_instrs += bb.num_instrs as u64;
 
         let mut il = bb.il;
+        // Instrumentation-safety lint: whatever the client adds to the
+        // block must not clobber live application registers or flags.
+        let snapshot = LintSnapshot::capture(&il);
         self.client.basic_block(&mut self.core, tag, &mut il);
+        self.core.lint_client_edit(&snapshot, &il, tag);
         mangle_bb(&mut il, bb.end_pc);
         let custom = std::mem::take(&mut self.core.pending_custom_stubs);
         let id = emit_fragment(
@@ -1033,6 +1045,7 @@ impl<C: Client> Rio<C> {
                 .frag_mut(id)
                 .is_trace_head = true;
         }
+        self.core.note_verify(self.core.cur, id);
         Ok(id)
     }
 
@@ -1169,6 +1182,8 @@ impl<C: Client> Rio<C> {
         let patch = self.core.costs.link_patch;
         self.core.machine.charge(patch);
         self.core.stats.links += 1;
+        self.core.note_verify(self.core.cur, src);
+        self.core.note_verify(self.core.cur, dst);
     }
 
     /// A translated indirect branch arrived at the lookup with its target in
@@ -1342,8 +1357,12 @@ impl<C: Client> Rio<C> {
         self.core.stats.traces_built += 1;
         self.core.stats.trace_instrs += total_instrs as u64;
 
+        // Instrumentation-safety lint over the trace hook's edits.
+        let snapshot = LintSnapshot::capture(&trace_il);
         self.client
             .trace(&mut self.core, rec.trace_tag, &mut trace_il);
+        self.core
+            .lint_client_edit(&snapshot, &trace_il, rec.trace_tag);
 
         let custom = std::mem::take(&mut self.core.pending_custom_stubs);
         // An emit failure abandons the trace (blocks keep executing); it is
@@ -1359,6 +1378,8 @@ impl<C: Client> Rio<C> {
         ) else {
             return;
         };
+
+        self.core.note_verify(self.core.cur, id);
 
         // Exits of traces are trace heads (Dynamo's rule).
         let exit_targets: Vec<u32> = self.core.threads[self.core.cur]

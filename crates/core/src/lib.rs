@@ -34,6 +34,8 @@
 //! println!("normalized stats: {}", result.stats);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod cache;
 pub mod client;
@@ -46,6 +48,7 @@ pub mod inject;
 pub mod link;
 pub mod mangle;
 pub mod stats;
+pub mod verify;
 
 pub use crate::core::Core;
 pub use cache::{ExitKind, Fragment, FragmentId, FragmentKind, IndKind, Translation};
@@ -56,3 +59,4 @@ pub use inject::{FaultInjector, InjectionPlan};
 pub use mangle::{elide_ret_check, find_ib_checks, IbCheck, Note};
 pub use rio_sim::FaultKind;
 pub use stats::Stats;
+pub use verify::{Check, Violation};

@@ -62,12 +62,19 @@ pub fn unlink_exit(machine: &mut Machine, cache: &mut CodeCache, src: FragmentId
     let (disp_addr, unlinked_target, dst) = {
         let exit = &cache.frag(src).exits[exit_idx];
         let Some(dst) = exit.linked_to else { return };
-        let disp_addr = if exit.force_stub {
-            exit.stub_jmp_disp_addr
+        // For a forced exit the patched word is the *stub's* final jump,
+        // and its unlinked resting state is the stub sentinel — not
+        // `unlinked_target`, which is the stub entry itself (restoring
+        // that would make the stub jump back into its own entry).
+        let (disp_addr, unlinked_target) = if exit.force_stub {
+            (
+                exit.stub_jmp_disp_addr,
+                crate::config::layout::stub_sentinel(exit.stub),
+            )
         } else {
-            exit.branch_disp_addr
+            (exit.branch_disp_addr, exit.unlinked_target)
         };
-        (disp_addr, exit.unlinked_target, dst)
+        (disp_addr, unlinked_target, dst)
     };
     patch_disp(machine, disp_addr, unlinked_target);
     cache.frag_mut(src).exits[exit_idx].linked_to = None;
@@ -213,6 +220,62 @@ mod tests {
         assert_eq!(m.cpu.reg(rio_ia32::Reg::Eax), 11); // new fragment ran
         assert_eq!(cache.frag(fb2).incoming, vec![(fa, 0)]);
         assert!(cache.frag(fb).incoming.is_empty());
+    }
+
+    #[test]
+    fn unlinking_forced_exit_restores_the_stub_sentinel() {
+        use crate::emit::CustomStub;
+        use rio_ia32::{create, MemRef, OpSize, Opnd};
+        let mut m = Machine::new(CpuKind::Pentium4);
+        let mut cache = CodeCache::new();
+        // A at 0x1000: jmp 0x2000, with a custom stub that bumps a counter
+        // and keeps routing through the stub even when linked.
+        let mut a =
+            InstrList::decode_block(&[0xE9, 0xFB, 0x0F, 0x00, 0x00], 0x1000, Level::L3).unwrap();
+        mangle_bb(&mut a, 0x1005);
+        let exit_id = a.last_id().unwrap();
+        let mut stub_il = InstrList::new();
+        stub_il.push_back(create::inc(Opnd::Mem(MemRef::absolute(
+            layout::SCRATCH_SLOT,
+            OpSize::S32,
+        ))));
+        let fa = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x1000,
+            a,
+            vec![CustomStub {
+                exit_instr: exit_id,
+                instrs: stub_il,
+                force_stub: true,
+            }],
+            vec![(0x1000, 0x1005)],
+        )
+        .unwrap();
+        let mut b = InstrList::decode_block(&[0xB8, 9, 0, 0, 0, 0xF4], 0x2000, Level::L3).unwrap();
+        mangle_bb(&mut b, 0x2006);
+        let fb = emit_fragment(
+            &mut m,
+            &mut cache,
+            FragmentKind::BasicBlock,
+            0x2000,
+            b,
+            vec![],
+            vec![(0x2000, 0x2006)],
+        )
+        .unwrap();
+        m.set_exec_regions(vec![ExecRegion::new(Image::CACHE_BASE, Image::CACHE_END)]);
+        link_exit(&mut m, &mut cache, fa, 0, fb);
+        unlink_exit(&mut m, &mut cache, fa, 0);
+        // After the unlink, running A must execute the custom stub code and
+        // come to rest on the stub *sentinel* — not loop back into the stub
+        // entry.
+        m.cpu.eip = cache.frag(fa).start;
+        let exit = m.run();
+        let stub = cache.frag(fa).exits[0].stub;
+        assert_eq!(exit, CpuExit::OutOfRegion(layout::stub_sentinel(stub)));
+        assert_eq!(m.mem.read_u32(layout::SCRATCH_SLOT), 1); // stub code ran
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct Stats {
     /// Fragments evicted FIFO by capacity pressure (distinct from
     /// `cache_flushes`, which counts whole-sub-cache flushes).
     pub evictions: u64,
+    /// Static-verification passes run over individual fragments (the cache
+    /// verifier plus the client-safety lints).
+    pub checks_run: u64,
+    /// Verifier and lint violations detected.
+    pub violations: u64,
 }
 
 impl Stats {
@@ -85,6 +90,8 @@ impl Stats {
         self.code_writes += other.code_writes;
         self.invalidations += other.invalidations;
         self.evictions += other.evictions;
+        self.checks_run += other.checks_run;
+        self.violations += other.violations;
     }
 
     /// Sum a collection of per-run statistics into one aggregate.
@@ -122,8 +129,8 @@ impl fmt::Display for Stats {
         )?;
         write!(
             f,
-            "code writes: {}  precise invalidations: {}",
-            self.code_writes, self.invalidations
+            "code writes: {}  precise invalidations: {}  checks: {} ({} violations)",
+            self.code_writes, self.invalidations, self.checks_run, self.violations
         )
     }
 }
@@ -164,6 +171,8 @@ mod tests {
             code_writes: 21,
             invalidations: 22,
             evictions: 23,
+            checks_run: 24,
+            violations: 25,
         };
         let mut b = a;
         b.merge(&a);
@@ -173,6 +182,8 @@ mod tests {
         assert_eq!(b.code_writes, 42);
         assert_eq!(b.invalidations, 44);
         assert_eq!(b.evictions, 46);
+        assert_eq!(b.checks_run, 48);
+        assert_eq!(b.violations, 50);
         assert_eq!(Stats::aggregate([&a, &a, &a]).dispatches, 15);
         assert_eq!(Stats::aggregate([]), Stats::default());
     }

@@ -1,0 +1,206 @@
+//! Engine-level verification tests: the always-on client-safety lints must
+//! catch deliberately broken clients, the cache verifier must detect
+//! injected corruption, and well-behaved configurations must verify clean —
+//! including fragments rebuilt through `replace_fragment`, whose
+//! re-decoded translation tables regressed before the verifier existed.
+
+use rio_core::{
+    Check, Client, FaultInjector, InjectionPlan, NullClient, Options, Rio, StepBudget, StepOutcome,
+};
+use rio_ia32::encode::encode_list;
+use rio_ia32::{create, Cc, InstrList, Opcode, Opnd, Reg, Target};
+use rio_sim::{run_native, CpuKind, Image};
+
+fn program(build: impl FnOnce(&mut InstrList)) -> Image {
+    let mut il = InstrList::new();
+    build(&mut il);
+    Image::from_code(encode_list(&il, Image::CODE_BASE).unwrap().bytes)
+}
+
+fn exit_with(il: &mut InstrList, reg: Reg) {
+    if reg != Reg::Ebx {
+        il.push_back(create::mov(Opnd::reg(Reg::Ebx), Opnd::reg(reg)));
+    }
+    il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(1)));
+    il.push_back(create::int(0x80));
+}
+
+fn loop_program(n: i32) -> Image {
+    program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Edi), Opnd::imm32(0)));
+        il.push_back(create::mov(Opnd::reg(Reg::Esi), Opnd::imm32(n)));
+        let top = il.push_back(create::label());
+        il.push_back(create::add(Opnd::reg(Reg::Edi), Opnd::reg(Reg::Esi)));
+        il.push_back(create::dec(Opnd::reg(Reg::Esi)));
+        let mut j = create::jcc(Cc::Nz, Target::Pc(0));
+        j.set_target(Target::Instr(top));
+        il.push_back(j);
+        exit_with(il, Reg::Edi);
+    })
+}
+
+/// A broken client that inserts an unguarded clobber of `%ebx` (no spill,
+/// no app pc) into every basic block.
+struct ClobberingClient;
+impl Client for ClobberingClient {
+    fn name(&self) -> &'static str {
+        "clobber"
+    }
+    fn basic_block(&mut self, _core: &mut rio_core::Core, _tag: u32, bb: &mut InstrList) {
+        let first = bb.first_id().unwrap();
+        bb.insert_before(first, create::mov(Opnd::reg(Reg::Ebx), Opnd::imm32(7)));
+    }
+}
+
+#[test]
+fn clobbering_client_fires_the_instrumentation_lint() {
+    let img = loop_program(50);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, ClobberingClient);
+    let r = rio.run();
+    assert!(r.stats.violations > 0, "lint never fired");
+    assert!(
+        rio.core
+            .verify_findings()
+            .iter()
+            .any(|v| v.check == Check::InstrumentationLint),
+        "expected an instrumentation-lint finding, got {:?}",
+        rio.core.verify_findings()
+    );
+}
+
+/// A broken optimizer that converts every `inc` to `add` without proving
+/// the carry flag dead — the unsound version of the `inc2add` client.
+struct BlindIncToAdd;
+impl Client for BlindIncToAdd {
+    fn name(&self) -> &'static str {
+        "blind-inc2add"
+    }
+    fn basic_block(&mut self, _core: &mut rio_core::Core, _tag: u32, bb: &mut InstrList) {
+        let incs: Vec<_> = bb
+            .ids()
+            .filter(|id| bb.get(*id).opcode() == Some(Opcode::Inc))
+            .collect();
+        for id in incs {
+            let instr = bb.get(id);
+            let dst = instr.dsts().first().cloned().unwrap();
+            let mut add = create::add(dst, Opnd::imm32(1));
+            add.set_app_pc(instr.app_pc());
+            bb.replace(id, add);
+        }
+    }
+}
+
+#[test]
+fn unsound_edit_fires_the_transformation_lint() {
+    // CF is set by the cmp, preserved by inc, and consumed by adc — so the
+    // blind inc->add conversion both breaks the program and must be caught.
+    let img = program(|il| {
+        il.push_back(create::mov(Opnd::reg(Reg::Eax), Opnd::imm32(5)));
+        il.push_back(create::mov(Opnd::reg(Reg::Ecx), Opnd::imm32(0)));
+        il.push_back(create::cmp(Opnd::reg(Reg::Eax), Opnd::imm32(6)));
+        il.push_back(create::inc(Opnd::reg(Reg::Eax)));
+        il.push_back(create::adc(Opnd::reg(Reg::Ecx), Opnd::imm32(0)));
+        exit_with(il, Reg::Ecx);
+    });
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, BlindIncToAdd);
+    let r = rio.run();
+    assert!(r.stats.violations > 0, "lint never fired");
+    assert!(
+        rio.core
+            .verify_findings()
+            .iter()
+            .any(|v| v.check == Check::TransformationLint),
+        "expected a transformation-lint finding, got {:?}",
+        rio.core.verify_findings()
+    );
+}
+
+#[test]
+fn verify_cache_detects_injected_corruption() {
+    let img = loop_program(4_000);
+    let mut rio = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let mut injector = FaultInjector::new(InjectionPlan::CorruptFragment { nth: 0 });
+    // Step until the corruption lands, then verify before executing it.
+    while !injector.applied() {
+        injector.poll(&mut rio);
+        if injector.applied() {
+            break;
+        }
+        match rio.step(StepBudget::instructions(50)) {
+            StepOutcome::Running(_) => {}
+            other => panic!("program ended before corruption: {other:?}"),
+        }
+    }
+    let v = rio.core.verify_cache();
+    assert!(
+        v.iter().any(|x| x.check == Check::Decode),
+        "corruption not detected: {v:?}"
+    );
+}
+
+/// Regression: a fragment rebuilt via `decode_fragment` + `replace_fragment`
+/// must carry a faithful translation table (app pcs, not cache addresses) —
+/// the verifier's translation check fails the whole cache otherwise.
+struct RewriteOnce {
+    rewrote: bool,
+}
+impl Client for RewriteOnce {
+    fn name(&self) -> &'static str {
+        "rewrite-once"
+    }
+    fn trace(&mut self, core: &mut rio_core::Core, tag: u32, trace: &mut InstrList) {
+        let call = core.clean_call_instr(tag as u64);
+        let first = trace.first_id().unwrap();
+        trace.insert_before(first, call);
+    }
+    fn clean_call(&mut self, core: &mut rio_core::Core, arg: u64) {
+        if self.rewrote {
+            return;
+        }
+        let tag = arg as u32;
+        let il = core.decode_fragment(tag).expect("fragment decodes");
+        assert!(core.replace_fragment(tag, il));
+        self.rewrote = true;
+    }
+}
+
+#[test]
+fn replaced_fragments_verify_clean() {
+    let img = loop_program(2_000);
+    let mut opts = Options::full();
+    opts.verify = true;
+    let mut rio = Rio::new(
+        &img,
+        opts,
+        CpuKind::Pentium4,
+        RewriteOnce { rewrote: false },
+    );
+    let r = rio.run();
+    let native = run_native(&img, CpuKind::Pentium4);
+    assert_eq!(r.exit_code, native.exit_code);
+    assert!(rio.client.rewrote, "replacement never happened");
+    assert_eq!(r.stats.replacements, 1);
+    assert_eq!(r.stats.violations, 0, "{:?}", rio.core.verify_findings());
+    let sweep = rio.core.verify_cache();
+    assert!(sweep.is_empty(), "{sweep:?}");
+}
+
+#[test]
+fn verified_runs_are_clean_and_uncharged() {
+    let img = loop_program(500);
+    let native = run_native(&img, CpuKind::Pentium4);
+    let mut plain = Rio::new(&img, Options::full(), CpuKind::Pentium4, NullClient);
+    let rp = plain.run();
+    let mut opts = Options::full();
+    opts.verify = true;
+    let mut checked = Rio::new(&img, opts, CpuKind::Pentium4, NullClient);
+    let rc = checked.run();
+    assert_eq!(rc.exit_code, native.exit_code);
+    assert!(rc.stats.checks_run > 0, "verification never ran");
+    assert_eq!(rc.stats.violations, 0);
+    // Verification is an offline observer: it must not perturb the
+    // simulated cost model.
+    assert_eq!(rc.counters.cycles, rp.counters.cycles);
+    assert_eq!(rc.counters.instructions, rp.counters.instructions);
+    assert!(checked.core.verify_cache().is_empty());
+}

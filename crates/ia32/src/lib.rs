@@ -35,6 +35,8 @@
 //! # Ok::<(), rio_ia32::DecodeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod create;
 pub mod decode;
 pub mod disasm;
@@ -42,6 +44,7 @@ pub mod eflags;
 pub mod encode;
 pub mod ilist;
 pub mod instr;
+pub mod liveness;
 pub mod opcode;
 pub mod opnd;
 pub mod reg;
@@ -51,6 +54,7 @@ pub use eflags::{Eflags, EflagsEffect};
 pub use encode::{encode_instr, EncodeError};
 pub use ilist::{InstrId, InstrList};
 pub use instr::{Instr, Level, Target};
+pub use liveness::{effects, Effects, LiveState, Liveness, RegSet};
 pub use opcode::{Cc, Opcode};
 pub use opnd::{MemRef, OpSize, Opnd};
 pub use reg::Reg;

@@ -27,6 +27,8 @@
 //! # Ok::<(), rio_workloads::CompileError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
 pub mod compiler;
