@@ -19,7 +19,9 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod suite_cli;
 
 pub use harness::{
     jobs, native_cycles, rio_cycles, run_config, run_parallel, ClientKind, ConfigResult,
 };
+pub use suite_cli::{parse_suite_args, parse_suite_args_with, print_suite_rows, SuiteArgs};

@@ -1,0 +1,124 @@
+//! Shared command-line plumbing for the scenario suites.
+//!
+//! `rio faults`, `rio smc`, `rio verify`, and `rio fuzz` all follow the
+//! same shape: parse `--cpu p3|p4` and `--jobs N`, fan scenarios out over
+//! [`run_parallel`](crate::run_parallel), and print one stable report line
+//! per scenario with `Err` rows counted as failures. This module holds
+//! that shape once; suites with extra flags extend the parser through
+//! [`parse_suite_args_with`].
+
+use std::process::ExitCode;
+
+use rio_sim::CpuKind;
+
+/// Parsed common suite options.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteArgs {
+    pub cpu: CpuKind,
+    pub jobs: usize,
+}
+
+/// Parse `--cpu p3|p4` / `--jobs N`, handing any other flag to `extra`.
+///
+/// `extra` receives the flag and the argument iterator (so it can consume
+/// a value); it returns `Ok(true)` if it recognized the flag, `Ok(false)`
+/// to make the flag an "unknown argument" error.
+pub fn parse_suite_args_with<F>(args: &[String], mut extra: F) -> Result<SuiteArgs, String>
+where
+    F: FnMut(&str, &mut std::slice::Iter<'_, String>) -> Result<bool, String>,
+{
+    let mut cpu = CpuKind::Pentium4;
+    let mut jobs = crate::jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cpu" => {
+                cpu = match it.next().ok_or("--cpu needs a value")?.as_str() {
+                    "p3" => CpuKind::Pentium3,
+                    "p4" => CpuKind::Pentium4,
+                    other => return Err(format!("unknown cpu `{other}` (p3|p4)")),
+                };
+            }
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad job count: {e}"))?
+                    .max(1);
+            }
+            other => {
+                if !extra(other, &mut it)? {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(SuiteArgs { cpu, jobs })
+}
+
+/// Parse the common suite options only (no suite-specific flags).
+pub fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
+    parse_suite_args_with(args, |_, _| Ok(false))
+}
+
+/// Print scenario report lines (stable order from
+/// [`run_parallel`](crate::run_parallel)); `Err` rows count as failures.
+pub fn print_suite_rows(rows: &[Result<String, String>], what: &str) -> Result<ExitCode, String> {
+    let mut failures = 0usize;
+    for row in rows {
+        match row {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                println!("FAIL {line}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} {what} scenario(s) failed"));
+    }
+    println!("all {} {what} scenarios passed", rows.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_common_flags() {
+        let a = parse_suite_args(&argv(&["--cpu", "p3", "--jobs", "3"])).unwrap();
+        assert!(matches!(a.cpu, CpuKind::Pentium3));
+        assert_eq!(a.jobs, 3);
+        assert!(parse_suite_args(&argv(&["--bogus"])).is_err());
+        assert!(parse_suite_args(&argv(&["--cpu"])).is_err());
+        assert!(parse_suite_args(&argv(&["--jobs", "zero"])).is_err());
+    }
+
+    #[test]
+    fn jobs_clamps_to_at_least_one() {
+        let a = parse_suite_args(&argv(&["--jobs", "0"])).unwrap();
+        assert_eq!(a.jobs, 1);
+    }
+
+    #[test]
+    fn extra_flags_flow_through_the_callback() {
+        let mut seen = None;
+        let a = parse_suite_args_with(&argv(&["--seeds", "64", "--jobs", "2"]), |flag, it| {
+            if flag == "--seeds" {
+                seen = Some(it.next().cloned().ok_or("--seeds needs a value")?);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        })
+        .unwrap();
+        assert_eq!(seen.as_deref(), Some("64"));
+        assert_eq!(a.jobs, 2);
+    }
+}

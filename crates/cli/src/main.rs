@@ -10,6 +10,8 @@
 //! rio faults [--cpu p3|p4] [--jobs N]          fault-injection robustness suite
 //! rio smc [--cpu p3|p4] [--jobs N]             self-modifying-code consistency suite
 //! rio verify [--cpu p3|p4] [--jobs N]          run everything under the cache verifier
+//! rio fuzz [--seeds N] [--seed-base HEX] [--cpu p3|p4] [--jobs N]
+//!          [--corpus DIR] [--replay]           differential conformance fuzzing
 //! rio bench-list                               list the benchmark suite
 //!
 //! run options:
@@ -33,6 +35,13 @@
 //! --jobs N (worker threads; also honors RIO_JOBS, defaults to the
 //! host's available parallelism).
 //!
+//! fuzz options: --seeds N generated programs (default 64), starting at
+//! --seed-base HEX (default 0x5eed0000); every program runs natively and
+//! through the full engine-configuration matrix, any divergence is
+//! minimized and saved into --corpus DIR (default tests/corpus).
+//! --replay instead re-runs every saved corpus entry through the matrix.
+//! Campaign output is byte-identical for any --jobs value.
+//!
 //! exit codes: the program's own status; 124 when a --max-instructions /
 //! --timeout-cycles budget runs out; on an unhandled guest fault,
 //! 128 + fault kind (129 divide error, 130 invalid opcode, 131 memory
@@ -44,7 +53,10 @@
 
 use std::process::ExitCode;
 
-use rio_bench::{native_cycles, run_config, run_parallel, ClientKind};
+use rio_bench::{
+    native_cycles, parse_suite_args, parse_suite_args_with, print_suite_rows, run_config,
+    run_parallel, ClientKind, SuiteArgs,
+};
 use rio_clients::{CTrace, Combined, IbDispatch, Inc2Add, InsCount, OpStats, Rlr, Shepherd};
 use rio_core::{
     Client, Fault, FaultInjector, FaultKind, InjectionPlan, NullClient, Options, Rio, RioRunResult,
@@ -59,7 +71,7 @@ const EXIT_BUDGET_EXHAUSTED: u8 = 124;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rio <run|native|disasm|fragments|suite|faults|smc|verify|bench-list> [args]  (see --help in source header)"
+        "usage: rio <run|native|disasm|fragments|suite|faults|smc|verify|fuzz|bench-list> [args]  (see --help in source header)"
     );
     ExitCode::from(2)
 }
@@ -759,60 +771,12 @@ fn run_fault_scenario(s: FaultScenario, cpu: CpuKind, verify: bool) -> Result<St
 /// driven through budgeted (suspendable) sessions. Output is byte-identical
 /// for any `--jobs` value.
 fn cmd_faults(args: &[String]) -> Result<ExitCode, String> {
-    let (cpu, njobs) = parse_suite_args(args)?;
+    let SuiteArgs { cpu, jobs: njobs } = parse_suite_args(args)?;
     let verify = verify_env();
     let rows = run_parallel(&FaultScenario::ALL, njobs, |_, &s| {
         run_fault_scenario(s, cpu, verify)
     });
     print_suite_rows(&rows, "fault")
-}
-
-/// Shared `--cpu p3|p4` / `--jobs N` parsing for the scenario suites.
-fn parse_suite_args(args: &[String]) -> Result<(CpuKind, usize), String> {
-    let mut cpu = CpuKind::Pentium4;
-    let mut njobs = rio_bench::jobs();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--cpu" => {
-                cpu = match it.next().ok_or("--cpu needs a value")?.as_str() {
-                    "p3" => CpuKind::Pentium3,
-                    "p4" => CpuKind::Pentium4,
-                    other => return Err(format!("unknown cpu `{other}` (p3|p4)")),
-                };
-            }
-            "--jobs" | "-j" => {
-                njobs = it
-                    .next()
-                    .ok_or("--jobs needs a value")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("bad job count: {e}"))?
-                    .max(1);
-            }
-            other => return Err(format!("unknown argument `{other}`")),
-        }
-    }
-    Ok((cpu, njobs))
-}
-
-/// Print scenario report lines (stable order from `run_parallel`); `Err`
-/// rows count as failures.
-fn print_suite_rows(rows: &[Result<String, String>], what: &str) -> Result<ExitCode, String> {
-    let mut failures = 0usize;
-    for row in rows {
-        match row {
-            Ok(line) => println!("{line}"),
-            Err(line) => {
-                println!("FAIL {line}");
-                failures += 1;
-            }
-        }
-    }
-    if failures > 0 {
-        return Err(format!("{failures} {what} scenario(s) failed"));
-    }
-    println!("all {} {what} scenarios passed", rows.len());
-    Ok(ExitCode::SUCCESS)
 }
 
 // ----- self-modifying-code consistency suite ------------------------------
@@ -992,7 +956,7 @@ fn run_smc_scenario(s: SmcScenario, cpu: CpuKind, verify: bool) -> Result<String
 /// with decode verification. Output is byte-identical for any `--jobs`
 /// value.
 fn cmd_smc(args: &[String]) -> Result<ExitCode, String> {
-    let (cpu, njobs) = parse_suite_args(args)?;
+    let SuiteArgs { cpu, jobs: njobs } = parse_suite_args(args)?;
     let verify = verify_env();
     let rows = run_parallel(&SmcScenario::ALL, njobs, |_, &s| {
         run_smc_scenario(s, cpu, verify)
@@ -1061,7 +1025,7 @@ fn run_verified_bench(
 /// findings are detection rather than defects. Output is byte-identical
 /// for any `--jobs` value.
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
-    let (cpu, njobs) = parse_suite_args(args)?;
+    let SuiteArgs { cpu, jobs: njobs } = parse_suite_args(args)?;
     let benches = compiled_suite();
     const CLIENTS: [&str; 3] = ["null", "combined", "shepherd"];
     let mut items = Vec::new();
@@ -1121,6 +1085,73 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+// ----- differential conformance fuzzing -----------------------------------
+
+/// `rio fuzz`: differential conformance fuzzing. Generates deterministic
+/// programs from sequential seeds and checks that every engine
+/// configuration (emulation, cache, traces, bounded cache, stepping,
+/// verifier; each × null/combined clients) agrees with native execution
+/// on output, exit code, and final app-visible state. Divergences are
+/// delta-debugged to a minimal program and the simplest failing
+/// configuration, then persisted into the corpus as regression tests.
+/// With `--replay`, re-runs every corpus entry through the whole matrix
+/// instead. Output is byte-identical for any `--jobs` value.
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut seeds: u64 = 64;
+    let mut base_seed = rio_fuzz::DEFAULT_BASE_SEED;
+    let mut corpus = std::path::PathBuf::from("tests/corpus");
+    let mut replay = false;
+    let suite = parse_suite_args_with(args, |flag, it| match flag {
+        "--seeds" => {
+            seeds = it
+                .next()
+                .ok_or("--seeds needs a value")?
+                .parse()
+                .map_err(|e| format!("bad seed count: {e}"))?;
+            Ok(true)
+        }
+        "--seed-base" => {
+            let v = it.next().ok_or("--seed-base needs a value")?;
+            base_seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                .map_err(|e| format!("bad seed base `{v}`: {e}"))?;
+            Ok(true)
+        }
+        "--corpus" => {
+            corpus = it.next().ok_or("--corpus needs a value")?.into();
+            Ok(true)
+        }
+        "--replay" => {
+            replay = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    if replay {
+        let entries = rio_fuzz::load_dir(&corpus)?;
+        if entries.is_empty() {
+            println!("corpus {} is empty; nothing to replay", corpus.display());
+            return Ok(ExitCode::SUCCESS);
+        }
+        let rows = run_parallel(&entries, suite.jobs, |_, (path, entry)| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            rio_fuzz::replay_entry(&name, entry, suite.cpu)
+        });
+        return print_suite_rows(&rows, "corpus");
+    }
+    let opts = rio_fuzz::CampaignOptions {
+        seeds,
+        base_seed,
+        cpu: suite.cpu,
+        jobs: suite.jobs,
+        corpus_dir: Some(corpus),
+    };
+    let rows = rio_fuzz::run_campaign(&opts);
+    print_suite_rows(&rows, "fuzz")
+}
+
 fn cmd_bench_list() -> ExitCode {
     println!("{:<10} {:<4} character", "name", "cat");
     for b in suite() {
@@ -1152,6 +1183,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(rest),
         "smc" => cmd_smc(rest),
         "verify" => cmd_verify(rest),
+        "fuzz" => cmd_fuzz(rest),
         "bench-list" => Ok(cmd_bench_list()),
         _ => return usage(),
     };

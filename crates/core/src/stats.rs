@@ -124,6 +124,11 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
+            "emulated instrs: {}  threads spawned: {}",
+            self.emulated_instrs, self.threads_spawned
+        )?;
+        writeln!(
+            f,
             "faults: {} raised, {} delivered, {} fragment evictions",
             self.faults_raised, self.faults_delivered, self.fault_evictions
         )?;
@@ -186,5 +191,95 @@ mod tests {
         assert_eq!(b.violations, 50);
         assert_eq!(Stats::aggregate([&a, &a, &a]).dispatches, 15);
         assert_eq!(Stats::aggregate([]), Stats::default());
+    }
+
+    /// A `Stats` whose every field is a distinct value derived from `k`.
+    fn varied(k: u64) -> Stats {
+        Stats {
+            bbs_built: k,
+            bb_instrs: 2 * k + 1,
+            traces_built: 3 * k + 2,
+            trace_instrs: 5 * k + 3,
+            dispatches: 7 * k + 4,
+            context_switches: 11 * k + 5,
+            ib_lookups: 13 * k + 6,
+            ib_lookup_hits: 17 * k + 7,
+            links: 19 * k + 8,
+            unlinks: 23 * k + 9,
+            replacements: 29 * k + 10,
+            deletions: 31 * k + 11,
+            clean_calls: 37 * k + 12,
+            emulated_instrs: 41 * k + 13,
+            trace_heads: 43 * k + 14,
+            cache_flushes: 47 * k + 15,
+            threads_spawned: 53 * k + 16,
+            faults_raised: 59 * k + 17,
+            faults_delivered: 61 * k + 18,
+            fault_evictions: 67 * k + 19,
+            code_writes: 71 * k + 20,
+            invalidations: 73 * k + 21,
+            evictions: 79 * k + 22,
+            checks_run: 83 * k + 23,
+            violations: 89 * k + 24,
+        }
+    }
+
+    #[test]
+    fn merge_of_n_equals_aggregate() {
+        let runs: Vec<Stats> = (0..7).map(varied).collect();
+        let mut merged = Stats::default();
+        for r in &runs {
+            merged.merge(r);
+        }
+        assert_eq!(merged, Stats::aggregate(runs.iter()));
+        // Aggregation is order-independent (field-wise sums).
+        assert_eq!(merged, Stats::aggregate(runs.iter().rev()));
+    }
+
+    #[test]
+    fn display_round_trips_every_nonzero_field() {
+        // Distinct 4-digit values, so a substring match identifies exactly
+        // one field.
+        let mut s = Stats::default();
+        let fields: [(&str, &mut u64); 25] = [
+            ("bbs_built", &mut s.bbs_built),
+            ("bb_instrs", &mut s.bb_instrs),
+            ("traces_built", &mut s.traces_built),
+            ("trace_instrs", &mut s.trace_instrs),
+            ("dispatches", &mut s.dispatches),
+            ("context_switches", &mut s.context_switches),
+            ("ib_lookups", &mut s.ib_lookups),
+            ("ib_lookup_hits", &mut s.ib_lookup_hits),
+            ("links", &mut s.links),
+            ("unlinks", &mut s.unlinks),
+            ("replacements", &mut s.replacements),
+            ("deletions", &mut s.deletions),
+            ("clean_calls", &mut s.clean_calls),
+            ("emulated_instrs", &mut s.emulated_instrs),
+            ("trace_heads", &mut s.trace_heads),
+            ("cache_flushes", &mut s.cache_flushes),
+            ("threads_spawned", &mut s.threads_spawned),
+            ("faults_raised", &mut s.faults_raised),
+            ("faults_delivered", &mut s.faults_delivered),
+            ("fault_evictions", &mut s.fault_evictions),
+            ("code_writes", &mut s.code_writes),
+            ("invalidations", &mut s.invalidations),
+            ("evictions", &mut s.evictions),
+            ("checks_run", &mut s.checks_run),
+            ("violations", &mut s.violations),
+        ];
+        let mut names = Vec::new();
+        for (i, (name, field)) in fields.into_iter().enumerate() {
+            *field = 1001 + i as u64;
+            names.push(name);
+        }
+        let shown = s.to_string();
+        for (i, name) in names.iter().enumerate() {
+            let value = (1001 + i as u64).to_string();
+            assert!(
+                shown.contains(&value),
+                "Display drops `{name}` (value {value}):\n{shown}"
+            );
+        }
     }
 }

@@ -1,0 +1,193 @@
+//! The persisted regression corpus: minimized findings as `.dyna` files.
+//!
+//! Every divergence the campaign discovers is shrunk and saved under
+//! `tests/corpus/` as a self-contained Dyna source file whose header
+//! comments record the generating seed and the (minimized) configuration
+//! that disagreed with native execution. Replay (`rio fuzz --replay`)
+//! re-runs every entry through the *entire* configuration matrix — not
+//! just the recorded pair — and fails on any divergence, so a corpus entry
+//! is a permanent regression test: once its bug is fixed, the entry keeps
+//! replaying green in CI forever.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rio_sim::CpuKind;
+
+use crate::oracle::{check_image, FuzzConfig};
+
+/// One persisted finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The seed whose generated program (before shrinking) diverged.
+    pub seed: u64,
+    /// The minimized configuration that disagreed with native execution
+    /// (`engine+client` label pair), if recorded.
+    pub config: Option<String>,
+    /// Free-form note (what the divergence was, or why the entry exists).
+    pub note: Option<String>,
+    /// The minimized Dyna source.
+    pub source: String,
+}
+
+impl CorpusEntry {
+    /// The canonical file name for this entry (`seed-<hex>.dyna`), so
+    /// repeated campaigns overwrite rather than accumulate duplicates.
+    pub fn file_name(&self) -> String {
+        format!("seed-{:016x}.dyna", self.seed)
+    }
+
+    /// Serialize to the on-disk format: `//` header lines, then source.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "// rio-fuzz corpus entry (replay: `rio fuzz --replay`)"
+        );
+        let _ = writeln!(out, "// seed: {:#018x}", self.seed);
+        if let Some(cfg) = &self.config {
+            let _ = writeln!(out, "// config: {cfg}");
+        }
+        if let Some(note) = &self.note {
+            let _ = writeln!(out, "// note: {note}");
+        }
+        let _ = writeln!(out);
+        out.push_str(&self.source);
+        if !self.source.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the on-disk format back. Header lines are optional except the
+    /// seed; everything after the header block is the source verbatim.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let mut seed = None;
+        let mut config = None;
+        let mut note = None;
+        let mut body_at = 0;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("//") || trimmed.is_empty() {
+                body_at += line.len() + 1;
+                let rest = trimmed.trim_start_matches('/').trim();
+                if let Some(v) = rest.strip_prefix("seed:") {
+                    let v = v.trim().trim_start_matches("0x");
+                    seed = Some(
+                        u64::from_str_radix(v, 16).map_err(|e| format!("bad seed `{v}`: {e}"))?,
+                    );
+                } else if let Some(v) = rest.strip_prefix("config:") {
+                    config = Some(v.trim().to_string());
+                } else if let Some(v) = rest.strip_prefix("note:") {
+                    note = Some(v.trim().to_string());
+                }
+            } else {
+                break;
+            }
+        }
+        let source = text[body_at.min(text.len())..].to_string();
+        if source.trim().is_empty() {
+            return Err("corpus entry has no source".into());
+        }
+        Ok(CorpusEntry {
+            seed: seed.ok_or("corpus entry is missing a `// seed:` header")?,
+            config,
+            note,
+            source,
+        })
+    }
+
+    /// The recorded failing configuration, parsed (None when the header is
+    /// absent or names an unknown configuration).
+    pub fn parsed_config(&self) -> Option<FuzzConfig> {
+        self.config.as_deref().and_then(FuzzConfig::parse)
+    }
+
+    /// Write the entry into `dir` under its canonical name.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.serialize())?;
+        Ok(path)
+    }
+}
+
+/// Load every `.dyna` entry in `dir`, sorted by file name so the replay
+/// order (and therefore the replay report) is deterministic. A missing
+/// directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "dyna"))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read corpus dir {}: {e}", dir.display())),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            let entry = CorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, entry))
+        })
+        .collect()
+}
+
+/// Replay one corpus entry: compile it and run the entire configuration
+/// matrix; any divergence (including on the entry's recorded config) is a
+/// regression. `Ok` is the deterministic report line.
+pub fn replay_entry(name: &str, entry: &CorpusEntry, cpu: CpuKind) -> Result<String, String> {
+    let image =
+        rio_workloads::compile(&entry.source).map_err(|e| format!("{name}: compile error: {e}"))?;
+    match check_image(&image, cpu) {
+        Ok(summary) => Ok(format!(
+            "ok {name}: seed {:#018x}, {} configs agree (exit {}, digest {:016x})",
+            entry.seed, summary.configs, summary.exit_code, summary.state_digest
+        )),
+        Err(m) => Err(format!("{name}: REGRESSED: {m}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        let entry = CorpusEntry {
+            seed: 0x5EED_0042,
+            config: Some("bounded+combined".into()),
+            note: Some("minimized from 214 nodes".into()),
+            source: "fn main() { return 3; }".into(),
+        };
+        let parsed = CorpusEntry::parse(&entry.serialize()).expect("parse");
+        assert_eq!(parsed.seed, entry.seed);
+        assert_eq!(parsed.config, entry.config);
+        assert_eq!(parsed.note, entry.note);
+        assert_eq!(parsed.source.trim(), entry.source);
+        assert_eq!(
+            parsed.parsed_config().map(|c| c.to_string()).as_deref(),
+            Some("bounded+combined")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_headerless_and_empty_entries() {
+        assert!(CorpusEntry::parse("fn main() { return 0; }").is_err());
+        assert!(CorpusEntry::parse("// seed: 0x10\n").is_err());
+    }
+
+    #[test]
+    fn file_names_are_canonical_per_seed() {
+        let e = CorpusEntry {
+            seed: 7,
+            config: None,
+            note: None,
+            source: "x".into(),
+        };
+        assert_eq!(e.file_name(), "seed-0000000000000007.dyna");
+    }
+}

@@ -289,6 +289,41 @@ impl Machine {
         self.stale_decode_hits
     }
 
+    /// FNV-1a digest of the application-visible machine state: the eight
+    /// general-purpose registers plus the current bytes of every data
+    /// segment the image declared (globals and arrays). `eip` is excluded
+    /// (under the engine it is a code-cache address by design) and so is
+    /// `eflags` (transformation clients may legally rewrite dead flag
+    /// updates, e.g. `inc` → `add`). Two runs of the same image that end
+    /// with the same digest agree on every register and every global.
+    pub fn app_state_digest(&self, image: &Image) -> u64 {
+        use rio_ia32::Reg as R;
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        for r in [
+            R::Eax,
+            R::Ecx,
+            R::Edx,
+            R::Ebx,
+            R::Esp,
+            R::Ebp,
+            R::Esi,
+            R::Edi,
+        ] {
+            for b in self.cpu.reg(r).to_le_bytes() {
+                mix(b);
+            }
+        }
+        for (base, bytes) in &image.data {
+            for off in 0..bytes.len() as u32 {
+                mix(self.mem.read_u8(base + off));
+            }
+        }
+        h
+    }
+
     /// Arm a one-shot fault injection: once the machine has executed
     /// `instr_count` instructions, the next instruction raises `kind`
     /// instead of executing (a precise, resumable boundary). The trigger

@@ -215,6 +215,10 @@ pub struct RunResult {
     pub output: String,
     /// Final machine counters.
     pub counters: crate::perf::Counters,
+    /// Digest of the final application-visible state (registers + image
+    /// data segments; see [`Machine::app_state_digest`]) — the baseline the
+    /// differential fuzzer compares engine runs against.
+    pub state_digest: u64,
 }
 
 /// Execute an image natively (no dynamic translator) to completion.
@@ -332,6 +336,7 @@ pub fn run_native_guarded(
         exit_code: os.exit_code.unwrap_or(0),
         output: os.output,
         counters: m.counters,
+        state_digest: m.app_state_digest(image),
     }
 }
 

@@ -373,6 +373,102 @@ mod tests {
     }
 
     #[test]
+    fn two_bit_counter_walks_the_exact_state_machine() {
+        // Fresh counters start weakly not-taken (state 1). Walk the whole
+        // state machine at one pc and check the exact penalty (and thus the
+        // predicted direction) at every transition, including saturation at
+        // both ends.
+        let mut m = CostModel::new(CpuKind::Pentium4);
+        let p = m.params;
+        let mut c = Counters::default();
+        let go = |m: &mut CostModel, taken, c: &mut Counters| m.cond_branch(0x40, taken, c);
+        // state 1 (weak NT): taken -> mispredict + bubble, to state 2.
+        assert_eq!(go(&mut m, true, &mut c), p.taken_branch + p.mispredict);
+        // state 2 (weak T): taken -> predicted, to state 3.
+        assert_eq!(go(&mut m, true, &mut c), p.taken_branch);
+        // state 3 (strong T): taken -> predicted, saturates at 3.
+        assert_eq!(go(&mut m, true, &mut c), p.taken_branch);
+        // state 3: not taken -> mispredict (no bubble), to state 2.
+        assert_eq!(go(&mut m, false, &mut c), p.mispredict);
+        // state 2: not taken -> mispredict, to state 1.
+        assert_eq!(go(&mut m, false, &mut c), p.mispredict);
+        // state 1: not taken -> predicted, to state 0.
+        assert_eq!(go(&mut m, false, &mut c), 0);
+        // state 0 (strong NT): not taken -> predicted, saturates at 0.
+        assert_eq!(go(&mut m, false, &mut c), 0);
+        // state 0: taken -> mispredict, back up to state 1.
+        assert_eq!(go(&mut m, true, &mut c), p.taken_branch + p.mispredict);
+        assert_eq!(c.cond_mispredicts, 4);
+        assert_eq!(c.taken_branches, 4);
+    }
+
+    #[test]
+    fn cond_counters_are_indexed_by_pc_and_alias_at_table_stride() {
+        let mut m = CostModel::new(CpuKind::Pentium4);
+        let mut c = Counters::default();
+        // Train pc=0x100 strongly taken.
+        for _ in 0..4 {
+            m.cond_branch(0x100, true, &mut c);
+        }
+        // A nearby branch has its own counter: still weakly not-taken.
+        let fresh = m.cond_branch(0x104, true, &mut c);
+        assert_eq!(fresh, m.params.taken_branch + m.params.mispredict);
+        // The table indexes (pc >> 1) & (BP_SIZE - 1), so pc + (BP_SIZE << 1)
+        // shares a counter: the trained state predicts taken immediately.
+        let alias = 0x100 + ((BP_SIZE as u32) << 1);
+        assert_eq!(m.cond_branch(alias, true, &mut c), m.params.taken_branch);
+        // And not-taken outcomes at the alias decay the shared counter until
+        // the original pc mispredicts again.
+        m.cond_branch(alias, false, &mut c);
+        m.cond_branch(alias, false, &mut c);
+        assert_eq!(
+            m.cond_branch(0x100, true, &mut c),
+            m.params.taken_branch + m.params.mispredict
+        );
+    }
+
+    #[test]
+    fn btb_entries_are_tagged_and_evicted_by_aliases() {
+        let mut m = CostModel::new(CpuKind::Pentium4);
+        let mut c = Counters::default();
+        let pc = 0x200;
+        let alias = pc + ((BTB_SIZE as u32) << 1); // same slot, different tag
+        m.indirect_branch(pc, 0x5000, false, &mut c);
+        assert_eq!(c.ind_mispredicts, 1); // cold
+                                          // The alias maps to the same slot but its tag mismatches: no false
+                                          // hit, and installing it evicts the original entry.
+        m.indirect_branch(alias, 0x5000, false, &mut c);
+        assert_eq!(c.ind_mispredicts, 2);
+        m.indirect_branch(pc, 0x5000, false, &mut c);
+        assert_eq!(c.ind_mispredicts, 3); // evicted by the alias
+                                          // Re-installed: now it hits.
+        m.indirect_branch(pc, 0x5000, false, &mut c);
+        assert_eq!(c.ind_mispredicts, 3);
+    }
+
+    #[test]
+    fn ras_predicts_balanced_nesting_and_mispredicts_when_empty() {
+        let mut m = CostModel::new(CpuKind::Pentium4);
+        let mut c = Counters::default();
+        // A return with nothing on the stack mispredicts even if the BTB
+        // happens to know the target.
+        m.indirect_branch(0x500, 0x1111, true, &mut c);
+        assert_eq!(c.ind_mispredicts, 1);
+        // Balanced call/ret nesting predicts perfectly, in LIFO order.
+        m.ras_push(0xA);
+        m.ras_push(0xB);
+        m.ras_push(0xC);
+        m.indirect_branch(0x500, 0xC, true, &mut c);
+        m.indirect_branch(0x500, 0xB, true, &mut c);
+        m.indirect_branch(0x500, 0xA, true, &mut c);
+        assert_eq!(c.ind_mispredicts, 1);
+        // The stack is empty again: one more return mispredicts (it does not
+        // wrap around to stale entries).
+        m.indirect_branch(0x500, 0xA, true, &mut c);
+        assert_eq!(c.ind_mispredicts, 2);
+    }
+
+    #[test]
     fn ras_depth_is_bounded() {
         let mut m = CostModel::new(CpuKind::Pentium4);
         for i in 0..100 {

@@ -1,226 +1,26 @@
 //! Structured program fuzzing: randomly generated Dyna programs (loops,
-//! branches, switches, calls, arrays, indirect calls) must behave
+//! branches, switches, calls, arrays, indirect calls, guarded and
+//! unguarded division, self-modifying patches, recursion) must behave
 //! identically natively and under the engine with the full optimization
 //! stack — the strongest whole-system property we can check.
+//!
+//! The generator itself lives in [`rio_fuzz::gen`] (shared with the
+//! `rio fuzz` campaign); this test drives it through the bench harness the
+//! way the original in-tree generator was, including tiny-cache flush
+//! churn, as a fast complement to the full-matrix `fuzz_conformance`
+//! tests.
 
 use rio_bench::{run_config, ClientKind};
 use rio_core::Options;
+use rio_fuzz::Program;
 use rio_sim::{run_native, CpuKind};
-use rio_tests::Rng;
 use rio_workloads::compile;
-
-/// A bounded random statement tree, rendered to Dyna source. Variables are
-/// drawn from a fixed pool (`v0..v3` locals, `g0..g1` globals, array `arr`);
-/// all loops are bounded counters, and division is never generated, so every
-/// program terminates without traps.
-#[derive(Clone, Debug)]
-enum S {
-    Assign(u8, E),
-    Bump(u8, bool),
-    Store(E, E),
-    Loop(u8, Vec<S>),
-    If(E, Vec<S>, Vec<S>),
-    Switch(E, Vec<Vec<S>>),
-    CallHelper(E),
-    Print(E),
-}
-
-#[derive(Clone, Debug)]
-enum E {
-    K(i32),
-    V(u8),
-    G(u8),
-    Load(Box<E>),
-    Add(Box<E>, Box<E>),
-    Sub(Box<E>, Box<E>),
-    Mul(Box<E>, Box<E>),
-    Mask(Box<E>),
-    Cmp(Box<E>, Box<E>),
-    Helper(Box<E>),
-    IHelper(Box<E>),
-}
-
-impl E {
-    fn src(&self) -> String {
-        match self {
-            E::K(k) => format!("({k})"),
-            E::V(i) => format!("v{}", i % 4),
-            E::G(i) => format!("g{}", i % 2),
-            E::Load(i) => format!("arr[({}) & 31]", i.src()),
-            E::Add(a, b) => format!("({} + {})", a.src(), b.src()),
-            E::Sub(a, b) => format!("({} - {})", a.src(), b.src()),
-            E::Mul(a, b) => format!("({} * {})", a.src(), b.src()),
-            E::Mask(a) => format!("({} & 65535)", a.src()),
-            E::Cmp(a, b) => format!("({} < {})", a.src(), b.src()),
-            E::Helper(a) => format!("helper({})", a.src()),
-            E::IHelper(a) => format!("icall(hptr, {})", a.src()),
-        }
-    }
-}
-
-impl S {
-    fn src(&self, out: &mut String, depth: usize) {
-        let pad = "    ".repeat(depth + 1);
-        match self {
-            S::Assign(v, e) => out.push_str(&format!("{pad}v{} = {};\n", v % 4, e.src())),
-            S::Bump(v, up) => out.push_str(&format!(
-                "{pad}v{}{};\n",
-                v % 4,
-                if *up { "++" } else { "--" }
-            )),
-            S::Store(i, e) => {
-                out.push_str(&format!("{pad}arr[({}) & 31] = {};\n", i.src(), e.src()))
-            }
-            S::Loop(n, body) => {
-                let var = format!("l{depth}");
-                out.push_str(&format!("{pad}var {var} = 0;\n"));
-                out.push_str(&format!("{pad}while ({var} < {}) {{\n", n % 6 + 1));
-                for s in body {
-                    s.src(out, depth + 1);
-                }
-                out.push_str(&format!("{pad}    {var}++;\n{pad}}}\n"));
-            }
-            S::If(c, t, e) => {
-                out.push_str(&format!("{pad}if ({}) {{\n", c.src()));
-                for s in t {
-                    s.src(out, depth + 1);
-                }
-                out.push_str(&format!("{pad}}} else {{\n"));
-                for s in e {
-                    s.src(out, depth + 1);
-                }
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            S::Switch(e, cases) => {
-                out.push_str(&format!("{pad}switch (({}) & 3) {{\n", e.src()));
-                for (k, body) in cases.iter().enumerate() {
-                    out.push_str(&format!("{pad}    case {k} {{\n"));
-                    for s in body {
-                        s.src(out, depth + 2);
-                    }
-                    out.push_str(&format!("{pad}    }}\n"));
-                }
-                out.push_str(&format!("{pad}    default {{ g0 = g0 + 1; }}\n{pad}}}\n"));
-            }
-            S::CallHelper(e) => out.push_str(&format!("{pad}g1 = helper({});\n", e.src())),
-            S::Print(e) => out.push_str(&format!("{pad}print({} & 4095);\n", e.src())),
-        }
-    }
-}
-
-fn gen_expr(rng: &mut Rng, depth: u32) -> E {
-    if depth == 0 || rng.chance(1, 3) {
-        return match rng.below(3) {
-            0 => E::K(rng.range_i32(-50, 50)),
-            1 => E::V(rng.below(4) as u8),
-            _ => E::G(rng.below(2) as u8),
-        };
-    }
-    let sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
-    match rng.below(7) {
-        0 => {
-            let a = sub(rng);
-            let b = sub(rng);
-            E::Add(a, b)
-        }
-        1 => {
-            let a = sub(rng);
-            let b = sub(rng);
-            E::Sub(a, b)
-        }
-        2 => {
-            // Mask the left factor to keep products from overflowing too wildly
-            // (matches the original generator's shape).
-            let a = sub(rng);
-            let b = sub(rng);
-            E::Mul(Box::new(E::Mask(a)), b)
-        }
-        3 => {
-            let a = sub(rng);
-            let b = sub(rng);
-            E::Cmp(a, b)
-        }
-        4 => E::Load(sub(rng)),
-        5 => E::Helper(sub(rng)),
-        _ => E::IHelper(sub(rng)),
-    }
-}
-
-fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
-    let simple = |rng: &mut Rng| match rng.below(5) {
-        0 => S::Assign(rng.below(4) as u8, gen_expr(rng, 3)),
-        1 => S::Bump(rng.below(4) as u8, rng.flip()),
-        2 => {
-            let i = gen_expr(rng, 2);
-            let e = gen_expr(rng, 3);
-            S::Store(i, e)
-        }
-        3 => S::CallHelper(gen_expr(rng, 3)),
-        _ => S::Print(gen_expr(rng, 3)),
-    };
-    if depth == 0 {
-        return simple(rng);
-    }
-    // 4:1:1:1 weighting of simple vs compound statements.
-    match rng.below(7) {
-        0..=3 => simple(rng),
-        4 => {
-            let n = rng.below(6) as u8;
-            let body = gen_body(rng, depth - 1);
-            S::Loop(n, body)
-        }
-        5 => {
-            let c = gen_expr(rng, 2);
-            let t = gen_body(rng, depth - 1);
-            let e = gen_body(rng, depth - 1);
-            S::If(c, t, e)
-        }
-        _ => {
-            let e = gen_expr(rng, 2);
-            let cases = (0..4).map(|_| gen_body(rng, depth - 1)).collect();
-            S::Switch(e, cases)
-        }
-    }
-}
-
-fn gen_body(rng: &mut Rng, depth: u32) -> Vec<S> {
-    (0..1 + rng.below(3))
-        .map(|_| gen_stmt(rng, depth))
-        .collect()
-}
-
-fn render(stmts: &[S]) -> String {
-    let mut body = String::new();
-    for s in stmts {
-        s.src(&mut body, 0);
-    }
-    format!(
-        "global g0 = 3; global g1 = 5; global arr[32]; global hptr = 0;
-         fn helper(x) {{ return (x & 16383) * 3 - g0; }}
-         fn main() {{
-             hptr = &helper;
-             var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 4;
-             var seed = 0;
-             var i = 0;
-             while (i < 32) {{ arr[i] = i * 7 - 20; i++; }}
-{body}
-             var chk = (v0 ^ v1) + (v2 ^ v3) + g0 + g1;
-             i = 0;
-             while (i < 32) {{ chk = chk + arr[i]; i++; }}
-             print(chk & 1048575);
-             return chk % 251;
-         }}"
-    )
-}
 
 #[test]
 fn random_programs_behave_identically_under_the_full_stack() {
     for case in 0..40u64 {
-        let mut rng = Rng::new(0xF022_0001 + case);
-        let stmts: Vec<S> = (0..2 + rng.below(6))
-            .map(|_| gen_stmt(&mut rng, 2))
-            .collect();
-        let src = render(&stmts);
+        let program = Program::generate(0xF022_0001 + case);
+        let src = program.source();
         let image = compile(&src)
             .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
         let native = run_native(&image, CpuKind::Pentium4);
@@ -239,4 +39,34 @@ fn random_programs_behave_identically_under_the_full_stack() {
         assert_eq!(r.exit_code, native.exit_code, "case {case} flushing\n{src}");
         assert_eq!(&r.output, &native.output, "case {case} flushing\n{src}");
     }
+}
+
+#[test]
+fn fault_and_smc_constructs_reach_the_engine() {
+    // The promoted generator must actually exercise the transparency
+    // machinery: across a seed range, some programs take recoverable
+    // faults (the `fcnt` line is printed by every program; nonzero means
+    // the in-program handler ran) and some patch code at run time.
+    let mut faulted = 0usize;
+    let mut patched = 0usize;
+    for case in 0..200u64 {
+        if faulted > 0 && patched > 0 {
+            break;
+        }
+        let program = Program::generate(0xF022_0001 + case);
+        let src = program.source();
+        if src.contains("poke(pp") {
+            patched += 1;
+        }
+        let image = compile(&src).expect("compile");
+        let native = run_native(&image, CpuKind::Pentium4);
+        // Output ends with: chk, fcnt, facc (three final prints).
+        let lines: Vec<&str> = native.output.lines().collect();
+        let fcnt: i64 = lines[lines.len() - 2].parse().expect("fcnt line");
+        if fcnt > 0 {
+            faulted += 1;
+        }
+    }
+    assert!(faulted > 0, "no generated program took a recoverable fault");
+    assert!(patched > 0, "no generated program patched code");
 }
